@@ -1,0 +1,30 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one paper artifact at full scale, times it
+with pytest-benchmark, prints the rendered report and saves it under
+``benchmarks/results/`` (EXPERIMENTS.md records the paper-vs-measured
+comparison from those files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _save

@@ -1,0 +1,163 @@
+"""Ablation benchmarks for the reproduction's design choices.
+
+Each ablation quantifies one decision documented in DESIGN.md §4:
+
+- model anchoring (continuous minor-level vs the literal 100% equations);
+- construction's TBWDC estimator (all normal rows vs boundary row only);
+- the baseline ladder (PCCS vs Gables vs proportional-share strawman);
+- the memory controller's per-client cap (disabled by default because it
+  breaks source-obliviousness).
+"""
+
+from repro.analysis.errors import mean_abs_error
+from repro.baselines.gables import GablesModel
+from repro.baselines.proportional import ProportionalShareModel
+from repro.core.calibration import build_pccs_parameters, run_calibration
+from repro.core.construction import ConstructionOptions, construct_parameters
+from repro.core.model import PCCSModel
+from repro.experiments.common import engine_for
+from repro.profiling.pressure import sweep_pressure
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_suite
+from repro.workloads.roofline import pressure_levels
+
+
+def _validation_error(engine, model, pu_name, kernels, steps=8):
+    levels = pressure_levels(engine.soc.peak_bw, steps=steps)
+    errors = []
+    for kernel in kernels.values():
+        sweep = sweep_pressure(engine, kernel, pu_name, external_levels=levels)
+        predicted = [
+            model.relative_speed(sweep.demand_bw, y) for y in levels
+        ]
+        errors.append(mean_abs_error(predicted, sweep.relative_speeds))
+    return sum(errors) / len(errors)
+
+
+def test_bench_ablation_anchor(benchmark, save_report):
+    """Continuous minor-level anchoring vs the paper's literal 100%."""
+
+    def run():
+        engine = engine_for("xavier-agx")
+        params = build_pccs_parameters(engine, "gpu")
+        kernels = rodinia_suite(PUType.GPU)
+        return {
+            anchor: _validation_error(
+                engine, PCCSModel(params, anchor=anchor), "gpu", kernels
+            )
+            for anchor in ("minor", "paper")
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Both anchorings must stay accurate; they differ by at most
+    # MRMC*x/PBW, so the gap between them is small.
+    assert errors["minor"] < 0.12
+    assert abs(errors["minor"] - errors["paper"]) < 0.05
+    save_report(
+        "ablation_anchor",
+        "anchor ablation (avg |err|): "
+        + ", ".join(f"{k}={v * 100:.1f}%" for k, v in errors.items()),
+    )
+
+
+def test_bench_ablation_tbwdc_estimator(benchmark, save_report):
+    """Averaged drop onsets vs the paper's boundary-row-only TBWDC."""
+
+    def run():
+        engine = engine_for("xavier-agx")
+        calibration = run_calibration(engine, "gpu")
+        kernels = rodinia_suite(PUType.GPU)
+        out = {}
+        for label, boundary_only in (("averaged", False), ("paper", True)):
+            params = construct_parameters(
+                calibration.rela,
+                calibration.std_bw,
+                calibration.ext_bw,
+                engine.soc.peak_bw,
+                options=ConstructionOptions(
+                    tbwdc_from_boundary_only=boundary_only
+                ),
+            )
+            out[label] = _validation_error(
+                engine, PCCSModel(params), "gpu", kernels
+            )
+        return out
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The averaged estimator must not be worse than the literal one.
+    assert errors["averaged"] <= errors["paper"] + 0.01
+    save_report(
+        "ablation_tbwdc",
+        "TBWDC estimator ablation (avg |err|): "
+        + ", ".join(f"{k}={v * 100:.1f}%" for k, v in errors.items()),
+    )
+
+
+def test_bench_ablation_baseline_ladder(benchmark, save_report):
+    """PCCS < Gables on the GPU validation; the proportional strawman
+    brackets Gables from the pessimistic side."""
+
+    def run():
+        engine = engine_for("xavier-agx")
+        peak = engine.soc.peak_bw
+        kernels = rodinia_suite(PUType.GPU)
+        models = {
+            "pccs": PCCSModel(build_pccs_parameters(engine, "gpu")),
+            "gables": GablesModel(peak),
+            "proportional": ProportionalShareModel(peak),
+        }
+        return {
+            name: _validation_error(engine, model, "gpu", kernels)
+            for name, model in models.items()
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert errors["pccs"] < errors["gables"]
+    assert errors["pccs"] < errors["proportional"]
+    save_report(
+        "ablation_baselines",
+        "baseline ladder (avg |err|): "
+        + ", ".join(f"{k}={v * 100:.1f}%" for k, v in errors.items()),
+    )
+
+
+def test_bench_ablation_mc_cap(benchmark, save_report):
+    """Enabling the per-client cap breaks allocation source-obliviousness
+    — the reason it is disabled by default (DESIGN.md §4)."""
+    from repro.soc.memsys import SharedMemorySystem, StreamDemand
+    from repro.soc.spec import MCBehavior
+
+    def spread(cap_fraction):
+        mem = SharedMemorySystem(
+            136.5, MCBehavior(cap_fraction=cap_fraction)
+        )
+
+        def stream(demand, name):
+            return StreamDemand(
+                name=name,
+                demand=demand,
+                compute_time_per_gb=1e-4,
+                burst_bw=130.0,
+                overlap=0.95,
+                mlp_lines=1400.0,
+                max_bw=130.0,
+                latency_sensitivity=0.5,
+            )
+
+        victim = stream(50.0, "v")
+        single = mem.resolve([victim, stream(100.0, "a")])[0].granted
+        split = mem.resolve(
+            [victim, stream(50.0, "a1"), stream(50.0, "a2")]
+        )[0].granted
+        return abs(single - split) / single
+
+    def run():
+        return {"no cap": spread(1.0), "cap 0.45": spread(0.45)}
+
+    spreads = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert spreads["no cap"] < spreads["cap 0.45"]
+    save_report(
+        "ablation_mc_cap",
+        "source-obliviousness spread of the victim grant: "
+        + ", ".join(f"{k}={v * 100:.1f}%" for k, v in spreads.items()),
+    )

@@ -1,0 +1,29 @@
+"""Benchmarks: Fig. 12 (DNNs on the DLA) and Fig. 13 (multi-phase CFD)."""
+
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+
+
+def test_bench_fig12(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs=dict(models=("vgg19", "resnet50", "alexnet")),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: PCCS 5.3% on the DLA, Gables 26.7%.
+    assert result.pccs_avg_error < 0.10
+    assert result.pccs_avg_error < result.gables_avg_error
+    # DLA demands sit at 20-30 GB/s; slowdown keeps accruing across most
+    # of the pressure sweep (the late contention balance point).
+    for net in result.networks:
+        assert 15.0 <= net.demand_bw <= 31.0
+    save_report("fig12", result.render())
+
+
+def test_bench_fig13(benchmark, save_report):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    # Paper: piecewise phase prediction (4.6%) beats average-BW (19.4%).
+    assert result.piecewise_error < result.average_error
+    assert result.piecewise_error < 0.10
+    save_report("fig13", result.render())

@@ -1,0 +1,22 @@
+"""Benchmark: two-PU co-location workloads on the Snapdragon 855.
+
+The paper reports its Fig. 14 study on the Xavier; the Snapdragon
+counterpart (CPU+GPU pairings of the same benchmarks) checks the
+methodology generalizes to the second platform — PCCS must keep beating
+Gables on a machine with a 4x smaller memory system.
+"""
+
+from repro.experiments.fig14 import run_fig14
+
+
+def test_bench_fig14_snapdragon(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_fig14, args=("snapdragon-855",), rounds=1, iterations=1
+    )
+    assert set(result.pccs_errors) == {"cpu", "gpu"}
+    for pu in result.pccs_errors:
+        assert result.pccs_errors[pu] < result.gables_errors[pu], pu
+    # Gables collapses on the small-memory platform (its below-peak
+    # no-contention assumption is wrong almost everywhere there).
+    assert max(result.gables_errors.values()) > 0.2
+    save_report("fig14_snapdragon", result.render())

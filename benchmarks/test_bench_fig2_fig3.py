@@ -1,0 +1,27 @@
+"""Benchmarks: Fig. 2 (BW satisfaction) and Fig. 3 (three kernel classes)."""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig2(benchmark, save_report):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    # Paper landmarks: contention appears before requested+external hits
+    # the DRAM peak; the DLA degrades most gently.
+    by_name = {s.name: s for s in result.series}
+    assert by_name["dla"].y[-1] > by_name["gpu"].y[-1]
+    assert min(by_name["cpu"].y) < 0.9
+    save_report("fig2", result.render())
+
+
+def test_bench_fig3(benchmark, save_report):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    low = result.panel("a (low BW)")
+    high = result.panel("c (high BW)")
+    # The lightest kernels barely slow; high-BW kernels drop early and
+    # deep; the whole low panel stays well above the high panel's floor.
+    assert min(low[0].y) > 0.9
+    assert all(min(s.y) > max(min(h.y) for h in high) for s in low)
+    assert all(s.y[1] < 0.95 for s in high)
+    assert all(min(s.y) < 0.75 for s in high)
+    save_report("fig3", result.render())

@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 5 + Table 3 — the DRAM scheduling-policy study.
+
+The heaviest benchmark in the suite: five policies, a grid of victim and
+pressure demands, millions of simulated DRAM transactions.
+"""
+
+from repro.experiments.fig5_table3 import run_fig5_table3
+
+
+def test_bench_fig5_table3(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_fig5_table3,
+        kwargs=dict(
+            victim_demands=(18.0, 36.0, 54.0, 72.0, 90.0),
+            pressure_levels=(6.0, 18.0, 30.0, 42.0, 54.0, 66.0, 78.0, 90.0),
+            requests=1200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Table 3's orderings: FR-FCFS has the best row locality, FCFS the
+    # worst; fairness policies land in between.
+    rbh = {s.policy: s.row_hit_rate for s in result.stats}
+    assert rbh["frfcfs"] == max(rbh.values())
+    assert rbh["fcfs"] == min(rbh.values())
+
+    # Fig. 5's shape: under a fairness policy (ATLAS), heavy victims
+    # drop and then flatten; light victims stay protected.
+    atlas = result.policy_series("atlas")
+    heavy = atlas[-1]
+    assert heavy.y[0] > heavy.y[-1]  # drops with pressure
+    assert abs(heavy.y[-1] - heavy.y[-2]) < 0.08  # flat tail
+    light = atlas[0]
+    assert light.y[-1] > 0.8  # fairness protects the light group
+    save_report("fig5_table3", result.render())

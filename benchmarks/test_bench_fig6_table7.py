@@ -1,0 +1,30 @@
+"""Benchmarks: Fig. 6 (model chart) and Table 7 (model parameters)."""
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.table7 import run_table7
+
+
+def test_bench_fig6(benchmark, save_report):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    # The chart must show the three regions in order.
+    finals = [s.y[-1] for s in result.series]
+    assert finals == sorted(finals, reverse=True)
+    save_report("fig6", result.render())
+
+
+def test_bench_table7(benchmark, save_report):
+    result = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    # Paper Table 7 structure: the DLA has (nearly) no minor region, the
+    # shallowest intensive rate, and a later balance point than the GPU;
+    # Snapdragon parameters are scaled-down versions of Xavier's.
+    dla = result.params("xavier-agx", "dla")
+    gpu = result.params("xavier-agx", "gpu")
+    cpu = result.params("xavier-agx", "cpu")
+    assert dla.normal_bw < min(gpu.normal_bw, cpu.normal_bw)
+    assert dla.representative_rate_i < min(
+        gpu.representative_rate_i, cpu.representative_rate_i
+    )
+    assert dla.cbp > gpu.cbp
+    sd_cpu = result.params("snapdragon-855", "cpu")
+    assert sd_cpu.tbwdc < cpu.tbwdc / 2
+    save_report("table7", result.render())

@@ -1,0 +1,43 @@
+"""Benchmarks: Figs. 8-11 — Rodinia validation on both platforms.
+
+Paper headline accuracies (average |predicted - actual| relative speed):
+fig8 Xavier GPU: PCCS 6.3%; fig9 Xavier CPU: 2.6%; fig10 Snapdragon GPU:
+5.9%; fig11 Snapdragon CPU: 3.1% — with Gables several times worse in
+every case.
+"""
+
+import pytest
+
+from repro.experiments.fig8_11 import run_validation
+
+
+@pytest.mark.parametrize(
+    "figure,pccs_bound",
+    [
+        ("fig8", 0.12),
+        ("fig9", 0.10),
+        ("fig10", 0.12),
+        ("fig11", 0.15),
+    ],
+)
+def test_bench_rodinia_validation(benchmark, save_report, figure, pccs_bound):
+    result = benchmark.pedantic(
+        run_validation, args=(figure,), rounds=1, iterations=1
+    )
+    assert result.pccs_avg_error < pccs_bound
+    assert result.pccs_avg_error < result.gables_avg_error
+    save_report(figure, result.render())
+
+
+def test_bench_fig8_bfs_is_hardest(benchmark, save_report):
+    """The paper singles out BFS (poor row locality) as the worst GPU
+    prediction; the reproduction must show the same outlier."""
+    result = benchmark.pedantic(
+        run_validation, args=("fig8",), rounds=1, iterations=1
+    )
+    bfs_error = result.benchmark("bfs").pccs_error
+    others = [
+        b.pccs_error for b in result.benchmarks if b.benchmark != "bfs"
+    ]
+    assert bfs_error >= max(others) * 0.8
+    save_report("fig8_bfs_outlier", result.render())

@@ -1,0 +1,62 @@
+"""Benchmark: the multi-MC extension's design trade-off.
+
+Section 5: "For the case where SoC uses multi-MC and maps different
+channels to each MC, our model can be extended to support that." The
+benchmark quantifies the architect's trade: partitioning the channels
+isolates the GPU from CPU pressure entirely, at the cost of halving its
+standalone bandwidth.
+"""
+
+from repro.soc.configs import xavier_agx
+from repro.soc.engine import CoRunEngine
+from repro.soc.multimc import MCPartition, split_socs_memory
+from repro.workloads.kernel import single_phase_kernel
+from repro.workloads.roofline import calibrator_for_bandwidth, max_demand_kernel
+
+
+def run_tradeoff():
+    soc = xavier_agx()
+    shared = CoRunEngine(soc)
+    partitioned = CoRunEngine(
+        soc,
+        memory_system=split_socs_memory(
+            soc,
+            (
+                MCPartition("mc0", ("gpu",), 0.5),
+                MCPartition("mc1", ("cpu", "dla"), 0.5),
+            ),
+        ),
+    )
+    victim = single_phase_kernel("victim", 30.0)
+    out = {}
+    for label, engine in (("shared", shared), ("partitioned", partitioned)):
+        pressure, _ = calibrator_for_bandwidth(engine, "cpu", 80.0)
+        out[label] = {
+            "standalone_max": engine.standalone_demand(
+                max_demand_kernel(), "gpu"
+            ),
+            "victim_rs": engine.relative_speed(
+                "gpu", victim, {"cpu": pressure}
+            ),
+        }
+    return out
+
+
+def test_bench_multimc_tradeoff(benchmark, save_report):
+    results = benchmark.pedantic(run_tradeoff, rounds=1, iterations=1)
+    shared, part = results["shared"], results["partitioned"]
+    # Isolation: the partitioned GPU is (nearly) unaffected by the CPU.
+    assert part["victim_rs"] > 0.99
+    assert shared["victim_rs"] < part["victim_rs"]
+    # Cost: roughly half the standalone bandwidth.
+    assert part["standalone_max"] < shared["standalone_max"] * 0.6
+    lines = [
+        "multi-MC trade-off (GPU victim, 80 GB/s CPU pressure):",
+        f"  shared MC     : standalone max "
+        f"{shared['standalone_max']:.1f} GB/s, victim RS "
+        f"{shared['victim_rs'] * 100:.1f}%",
+        f"  partitioned MC: standalone max "
+        f"{part['standalone_max']:.1f} GB/s, victim RS "
+        f"{part['victim_rs'] * 100:.1f}%",
+    ]
+    save_report("multimc_tradeoff", "\n".join(lines))

@@ -1,0 +1,70 @@
+"""Machine-sensitivity ablation: construction tracks the machine.
+
+PCCS's value rests on the construction *measuring* the machine rather
+than assuming it. These benchmarks vary the simulated memory
+controller's personality and check the constructed parameters move the
+way the mechanism dictates:
+
+- lowering the multi-stream efficiency floor (worse row interference)
+  moves the drop onset (TBWDC) earlier;
+- a shallower loaded-latency curve softens every victim (lower rate_N).
+"""
+
+from dataclasses import replace
+
+from repro.core.calibration import build_pccs_parameters
+from repro.soc.configs import xavier_agx
+from repro.soc.engine import CoRunEngine
+
+
+def _params_with_mc(**overrides):
+    soc = xavier_agx()
+    mc = replace(soc.mc, **overrides)
+    engine = CoRunEngine(replace_soc_mc(soc, mc))
+    return build_pccs_parameters(engine, "gpu")
+
+
+def replace_soc_mc(soc, mc):
+    return type(soc)(
+        name=soc.name + "-variant",
+        pus=soc.pus,
+        memory=soc.memory,
+        mc=mc,
+    )
+
+
+def test_bench_sensitivity_row_interference(benchmark, save_report):
+    def run():
+        baseline = _params_with_mc()
+        harsher = _params_with_mc(multi_stream_efficiency=0.5)
+        return baseline, harsher
+
+    baseline, harsher = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Worse interleaving efficiency -> contention starts at a lower
+    # combined demand and victims lose speed faster.
+    assert harsher.tbwdc < baseline.tbwdc
+    assert harsher.rate_n > baseline.rate_n * 0.9
+    save_report(
+        "sensitivity_row_interference",
+        "multi_stream_efficiency 0.64 -> 0.50:\n"
+        f"  baseline: {baseline.summary()}\n"
+        f"  harsher : {harsher.summary()}",
+    )
+
+
+def test_bench_sensitivity_latency_curve(benchmark, save_report):
+    def run():
+        baseline = _params_with_mc()
+        gentler = _params_with_mc(queue_factor=0.4)
+        return baseline, gentler
+
+    baseline, gentler = benchmark.pedantic(run, rounds=1, iterations=1)
+    # A gentler queueing curve lowers latency-driven slowdowns: the
+    # normal-region reduction rate shrinks.
+    assert gentler.rate_n < baseline.rate_n
+    save_report(
+        "sensitivity_latency_curve",
+        "queue_factor 1.1 -> 0.4:\n"
+        f"  baseline: {baseline.summary()}\n"
+        f"  gentler : {gentler.summary()}",
+    )

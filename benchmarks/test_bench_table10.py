@@ -1,0 +1,22 @@
+"""Benchmark: Table 10 — related-work comparison, quantified.
+
+Paper Table 10 rates Bubble-Up "High accuracy, no design exploration",
+Gables "Low accuracy, design exploration", PCCS "High accuracy *and*
+design exploration". This benchmark measures the full ladder, including
+the profiling cost that motivates PCCS's processor-centric methodology.
+"""
+
+from repro.experiments.table10 import run_table10
+
+
+def test_bench_table10(benchmark, save_report):
+    result = benchmark.pedantic(run_table10, rounds=1, iterations=1)
+    pccs = result.row("pccs")
+    gables = result.row("gables")
+    bubble = result.row("bubble-up")
+    # Accuracy ladder: bubble-up <= pccs << gables.
+    assert bubble.error <= pccs.error < gables.error
+    # PCCS achieves near-Bubble-Up accuracy without per-app co-runs.
+    assert not pccs.per_app_profiling and bubble.per_app_profiling
+    assert pccs.design_exploration and not bubble.design_exploration
+    save_report("table10", result.render())

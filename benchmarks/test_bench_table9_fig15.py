@@ -1,0 +1,22 @@
+"""Benchmark: Table 9 + Fig. 15 — GPU frequency selection case study.
+
+Paper: PCCS selects frequencies 1.3-3.6% off ground truth, Gables
+3.8-49.1% off, because Gables sees no memory contention below the
+theoretical peak and over-clocks.
+"""
+
+from repro.experiments.table9_fig15 import run_table9_fig15
+
+
+def test_bench_table9_fig15(benchmark, save_report):
+    result = benchmark.pedantic(run_table9_fig15, rounds=1, iterations=1)
+    assert result.average_error("pccs") < result.average_error("gables")
+    assert result.average_error("pccs") < 0.15
+    # Fig. 15 landmark: streamcluster's ground-truth co-run curve is
+    # nearly flat between 1100 MHz and the top clock (memory-bound).
+    for _, series in result.curves:
+        truth = series[0]
+        top = truth.y[-1]
+        near_top = truth.y[-3]
+        assert near_top > top * 0.95
+    save_report("table9_fig15", result.render())

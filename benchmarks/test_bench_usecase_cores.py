@@ -1,0 +1,24 @@
+"""Benchmark: the intro's area-saving use case.
+
+Paper claim: accurate slowdown modeling saves "up to 50% area (with
+reduced cores) ... over the suggested configurations by prior models,
+while maintaining the same level of actual co-running workload
+performance".
+"""
+
+from repro.experiments.usecase_cores import run_usecase_cores
+
+
+def test_bench_usecase_cores(benchmark, save_report):
+    result = benchmark.pedantic(run_usecase_cores, rounds=1, iterations=1)
+    full = result.full_cores
+    for cell in result.cells:
+        # PCCS never provisions more cores than Gables, and its pick
+        # stays within one step of ground truth.
+        assert cell.pccs_cores <= cell.gables_cores
+        assert abs(cell.pccs_cores - cell.truth_cores) <= 64
+    # Substantial area saved at some operating point (paper: up to 50%).
+    assert max(
+        c.area_saving(full) for c in result.cells
+    ) >= 0.4
+    save_report("usecase_cores", result.render())

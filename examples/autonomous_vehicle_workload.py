@@ -1,0 +1,74 @@
+"""Autonomous-vehicle workload analysis on a Xavier-class SoC.
+
+The paper's motivating scenario (Fig. 1): an SoC runs a set of related
+modules concurrently — perception on the GPU, clustering/tracking on the
+CPU, a neural network on the DLA. This example predicts each module's
+co-run slowdown for several candidate task placements and picks the
+placement with the best worst-case module slowdown, then validates the
+winner against a simulated ground-truth co-run.
+
+Run with: ``python examples/autonomous_vehicle_workload.py``
+"""
+
+from repro import CoRunEngine, build_soc_models, predict_placement, xavier_agx
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_model
+from repro.workloads.rodinia import rodinia_kernel
+
+# Candidate placements of the AV pipeline's three modules. The DLA only
+# runs neural networks; CPU/GPU kernels have per-PU implementations.
+PLACEMENTS = {
+    "perception-heavy-gpu": {
+        "gpu": rodinia_kernel("srad", PUType.GPU),  # image denoising
+        "cpu": rodinia_kernel("streamcluster", PUType.CPU),  # tracking
+        "dla": dnn_model("resnet50"),  # object recognition
+    },
+    "perception-on-cpu": {
+        "gpu": rodinia_kernel("streamcluster", PUType.GPU),
+        "cpu": rodinia_kernel("srad", PUType.CPU),
+        "dla": dnn_model("resnet50"),
+    },
+    "light-dla": {
+        "gpu": rodinia_kernel("srad", PUType.GPU),
+        "cpu": rodinia_kernel("streamcluster", PUType.CPU),
+        "dla": dnn_model("alexnet"),
+    },
+}
+
+
+def main() -> None:
+    engine = CoRunEngine(xavier_agx())
+    print("constructing PCCS models for every PU (calibrator sweeps)...")
+    models = build_soc_models(engine)
+
+    scored = {}
+    for name, placement in PLACEMENTS.items():
+        prediction = predict_placement(engine, models, placement)
+        worst = min(p.relative_speed for p in prediction.predictions)
+        scored[name] = (worst, prediction)
+        print(f"\nplacement {name!r}:")
+        for p in prediction.predictions:
+            print(
+                f"  {p.pu_name}: {p.kernel_name:14s} demand "
+                f"{p.demand_bw:5.1f} GB/s, external {p.external_bw:5.1f} "
+                f"-> predicted RS {p.relative_speed * 100:5.1f}%"
+            )
+        print(f"  worst-module predicted RS: {worst * 100:.1f}%")
+
+    best = max(scored, key=lambda k: scored[k][0])
+    print(f"\nbest placement by worst-module slowdown: {best!r}")
+
+    # Validate the chosen placement against simulated ground truth.
+    result = engine.corun(PLACEMENTS[best], until="first")
+    print("ground-truth co-run of the winner:")
+    for outcome in result.outcomes:
+        predicted = scored[best][1].relative_speed(outcome.pu_name)
+        print(
+            f"  {outcome.pu_name}: actual RS "
+            f"{outcome.relative_speed * 100:5.1f}% "
+            f"(predicted {predicted * 100:5.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Porting a workload analysis across SoC platforms.
+
+The paper validates PCCS on two very different machines — the 137 GB/s
+Jetson AGX Xavier and the 34 GB/s Snapdragon 855 — and notes that the
+same benchmark can land in *different contention regions* on each
+("Hotspot, for instance, ... our model hence moves it into the minor
+contention category" on Snapdragon). This example reruns that analysis:
+profile the same benchmarks on both platforms, classify their regions,
+and chart the co-run slowdown curves side by side.
+
+Run with: ``python examples/cross_platform_porting.py``
+"""
+
+from repro import (
+    CoRunEngine,
+    PCCSModel,
+    build_pccs_parameters,
+    snapdragon_855,
+    xavier_agx,
+)
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.series import Series
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+BENCHMARKS = ("hotspot", "kmeans", "srad", "streamcluster")
+
+
+def analyze(soc) -> None:
+    engine = CoRunEngine(soc)
+    params = build_pccs_parameters(engine, "gpu")
+    model = PCCSModel(params)
+    print(f"\n== {soc.name} (peak {soc.peak_bw:.1f} GB/s) ==")
+    print(f"   {params.summary()}")
+    series = []
+    levels = [soc.peak_bw * f / 10 for f in range(1, 11)]
+    for name in BENCHMARKS:
+        kernel = rodinia_kernel(name, PUType.GPU)
+        demand = engine.standalone_demand(kernel, "gpu")
+        region = params.region_of(demand)
+        print(
+            f"   {name:14s} demand {demand:5.1f} GB/s -> "
+            f"{region.value} contention region"
+        )
+        series.append(
+            Series(
+                name,
+                tuple(levels),
+                tuple(model.relative_speed(demand, y) for y in levels),
+            )
+        )
+    print()
+    print(
+        ascii_plot(
+            series,
+            width=60,
+            height=12,
+            y_min=0.4,
+            y_max=1.0,
+            title=(
+                f"predicted GPU co-run relative speed vs external demand "
+                f"on {soc.name}"
+            ),
+        )
+    )
+
+
+def main() -> None:
+    print(
+        "Same benchmarks, two platforms: contention regions shift with "
+        "the memory system."
+    )
+    analyze(xavier_agx())
+    analyze(snapdragon_855())
+    print(
+        "\nNote how benchmarks that sit comfortably in the minor/normal "
+        "regions of the Xavier's 137 GB/s memory become intensive on the "
+        "Snapdragon's 34 GB/s memory — the same program, a different "
+        "contention story. PCCS re-calibrates per platform with the same "
+        "processor-centric procedure and no per-application co-runs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Power-budget design exploration (the paper's Section 5 extension).
+
+The paper's discussion: "our current model could potentially work with
+power budgeting by predicting the co-run performance under each given
+power budget." This example does exactly that — sweep total SoC power
+caps and, at each cap, pick the fastest GPU clock whose *co-run*
+performance (PCCS-predicted, under 40 GB/s external pressure) fits the
+budget. A memory-bound kernel keeps nearly all its co-run performance at
+far lower clocks, so large power cuts are almost free — the intro's
+"52.1% power budget saved" story.
+
+Run with: ``python examples/power_budget.py``
+"""
+
+from repro import (
+    CoRunEngine,
+    FrequencyExplorer,
+    PCCSModel,
+    PowerModel,
+    build_pccs_parameters,
+    explore_power_budget,
+    xavier_agx,
+)
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+CANDIDATE_CLOCKS = (520.0, 590.0, 670.0, 750.0, 830.0, 900.0, 1100.0, 1377.0)
+EXTERNAL_BW = 40.0
+
+
+def main() -> None:
+    soc = xavier_agx()
+    engine = CoRunEngine(soc)
+    model = PCCSModel(build_pccs_parameters(engine, "gpu"))
+    power = PowerModel(reference=soc)
+    explorer = FrequencyExplorer(
+        soc,
+        "gpu",
+        kernel_factory=lambda: rodinia_kernel("streamcluster", PUType.GPU),
+    )
+
+    top_power = power.soc_power_w(soc)
+    print(
+        f"reference SoC power at the top GPU clock: {top_power:.1f} W; "
+        f"kernel: streamcluster under {EXTERNAL_BW:.0f} GB/s external "
+        "pressure\n"
+    )
+    print(f"{'budget (W)':>10} {'clock (MHz)':>12} {'co-run perf':>12} "
+          f"{'power saved':>12}")
+    baseline = None
+    for budget in (top_power, 42.0, 38.0, 34.0, 30.0, 28.0):
+        try:
+            selection = explore_power_budget(
+                explorer, power, CANDIDATE_CLOCKS, EXTERNAL_BW, budget, model
+            )
+        except PredictionError:
+            print(f"{budget:>10.1f} {'infeasible':>12}")
+            continue
+        chosen = next(
+            p
+            for p in selection.points
+            if p.frequency_mhz == selection.selected_mhz
+        )
+        if baseline is None:
+            baseline = chosen.corun_speed
+        print(
+            f"{budget:>10.1f} {selection.selected_mhz:>12.0f} "
+            f"{chosen.corun_speed / baseline * 100:>11.1f}% "
+            f"{selection.power_saving * 100:>11.1f}%"
+        )
+    print(
+        "\na memory-bound kernel keeps ~most of its co-run performance "
+        "while the power budget shrinks by tens of percent — contention, "
+        "not compute, is the binding constraint PCCS quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: build a PCCS model for the Xavier GPU and use it.
+
+Walks the full paper workflow in miniature:
+
+1. simulate the target platform (the library's stand-in for the physical
+   Jetson AGX Xavier),
+2. construct the GPU's PCCS slowdown model with calibrators — no co-run
+   measurements of real applications involved,
+3. predict the co-run slowdown of an arbitrary application from nothing
+   but its standalone bandwidth demand,
+4. check the prediction against a simulated ground-truth co-run.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    CoRunEngine,
+    GablesModel,
+    PCCSModel,
+    build_pccs_parameters,
+    calibrator_for_bandwidth,
+    rodinia_kernel,
+    xavier_agx,
+)
+from repro.soc.spec import PUType
+
+
+def main() -> None:
+    # 1. The platform. On a real deployment this would be the physical
+    #    SoC; here it is the library's mechanistic simulator.
+    soc = xavier_agx()
+    engine = CoRunEngine(soc)
+    print(f"platform: {soc.name}, peak DRAM bandwidth {soc.peak_bw:.1f} GB/s")
+
+    # 2. Processor-centric model construction (paper Section 3.2).
+    params = build_pccs_parameters(engine, "gpu")
+    print("\nconstructed GPU model:")
+    print(" ", params.summary())
+    model = PCCSModel(params)
+
+    # 3. Predict slowdown for a real application. PCCS needs only the
+    #    standalone bandwidth demand (the paper gets it from NVprof).
+    kernel = rodinia_kernel("streamcluster", PUType.GPU)
+    demand = engine.standalone_demand(kernel, "gpu")
+    external = 60.0  # GB/s demanded by whatever runs on the other PUs
+    predicted = model.predict(demand, external)
+    print(
+        f"\nstreamcluster demands {demand:.1f} GB/s standalone -> "
+        f"{predicted.region.value} contention region"
+    )
+    print(
+        f"predicted relative speed under {external:.0f} GB/s external "
+        f"pressure: {predicted.relative_speed * 100:.1f}%"
+    )
+
+    # 4. Ground truth: actually co-run it against a synthetic aggressor.
+    pressure, _ = calibrator_for_bandwidth(engine, "cpu", external)
+    actual = engine.relative_speed("gpu", kernel, {"cpu": pressure})
+    print(f"measured relative speed: {actual * 100:.1f}%")
+    print(
+        f"PCCS error: {abs(predicted.relative_speed - actual) * 100:.1f} "
+        "points"
+    )
+
+    # Compare with the Gables baseline, which sees no contention at all
+    # here because demand + external is below the 136.5 GB/s peak.
+    gables = GablesModel(soc.peak_bw)
+    gables_rs = gables.relative_speed(demand, external)
+    print(
+        f"Gables predicts {gables_rs * 100:.1f}% "
+        f"(error {abs(gables_rs - actual) * 100:.1f} points)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""PCCS at runtime: a QoS frequency governor riding contention waves.
+
+Post-silicon scenario: streamcluster is latency-critical on the GPU
+while best-effort jobs on the CPU/DLA create time-varying memory
+pressure. A naive governor pins the top clock; the PCCS governor knows
+that under heavy contention the memory — not the clock — limits the
+kernel, so it drops the clock for free, and spends the headroom only
+when the bus is calm.
+
+Run with: ``python examples/runtime_governor.py``
+"""
+
+from repro import (
+    CoRunEngine,
+    PCCSModel,
+    build_pccs_parameters,
+    xavier_agx,
+)
+from repro.runtime.governor import QoSGovernor
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+FREQS = (520.0, 670.0, 830.0, 1000.0, 1200.0, 1377.0)
+
+# A day in the life of the memory bus: calm, a co-located burst, a
+# sustained pile-up, calm again (external GB/s per 100 ms epoch).
+EXTERNAL_SERIES = [
+    5.0, 8.0, 10.0, 45.0, 70.0, 95.0, 110.0, 120.0, 115.0, 100.0,
+    60.0, 30.0, 12.0, 6.0,
+]
+
+
+def main() -> None:
+    soc = xavier_agx()
+    engine = CoRunEngine(soc)
+    model = PCCSModel(build_pccs_parameters(engine, "gpu"))
+    governor = QoSGovernor(
+        soc,
+        "gpu",
+        kernel_factory=lambda: rodinia_kernel("streamcluster", PUType.GPU),
+        frequencies_mhz=FREQS,
+        model=model,
+        budget=0.05,
+    )
+    decisions = governor.run(EXTERNAL_SERIES)
+    print(
+        "epoch  external(GB/s)  clock(MHz)  predicted co-run speed "
+        "(vs top clock)"
+    )
+    for i, d in enumerate(decisions):
+        bar = "#" * int(d.frequency_mhz / max(FREQS) * 30)
+        print(
+            f"{i:5d} {d.external_bw:15.1f} {d.frequency_mhz:11.0f} "
+            f"{d.predicted_speed * 100:9.1f}%  {bar}"
+        )
+    proxy = governor.energy_proxy(decisions)
+    print(
+        f"\ndynamic-energy proxy vs always-top-clock: {proxy * 100:.1f}% "
+        f"({(1 - proxy) * 100:.1f}% saved) with co-run performance kept "
+        f"within {governor.budget * 100:.0f}% at every epoch"
+    )
+    print(
+        "the governor downclocks exactly when contention would have "
+        "wasted the cycles — the PCCS curves tell it when that is."
+    )
+
+
+if __name__ == "__main__":
+    main()

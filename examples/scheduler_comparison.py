@@ -1,0 +1,65 @@
+"""Memory-controller scheduling-policy comparison (paper Section 2.3).
+
+Uses the event-driven DRAM simulator to show *why* the three-region
+slowdown shape exists: fairness-controlled schedulers (ATLAS here)
+protect light clients and equalize service — producing the flat/drop/flat
+victim curve — while FCFS degrades everyone roughly proportionally and
+FR-FCFS maximizes throughput with no fairness.
+
+Run with: ``python examples/scheduler_comparison.py``
+(takes ~half a minute: it simulates millions of DRAM transactions)
+"""
+
+from repro.dram import CMPSystem
+
+VICTIM_DEMAND = 72.0  # GB/s across the 8 high-BW cores
+PRESSURES = (12.0, 36.0, 60.0, 84.0)
+REQUESTS = 1200
+GROUP = 8
+
+
+def victim_curve(policy: str) -> list:
+    system = CMPSystem(policy=policy)
+    alone = system.run(
+        system.group_configs(VICTIM_DEMAND, GROUP, REQUESTS, index_offset=GROUP)
+    )
+    speeds = []
+    for pressure in PRESSURES:
+        background = system.group_configs(
+            pressure,
+            GROUP,
+            max(200, int(REQUESTS * pressure / VICTIM_DEMAND * 1.5)),
+            index_offset=0,
+        )
+        victims = system.group_configs(
+            VICTIM_DEMAND, GROUP, REQUESTS, index_offset=GROUP
+        )
+        result = system.run(
+            background + victims,
+            stop_cores=set(range(GROUP, 2 * GROUP)),
+        )
+        speeds.append(min(alone.elapsed_ns / result.elapsed_ns, 1.0))
+    return speeds
+
+
+def main() -> None:
+    print(
+        f"victim group demanding {VICTIM_DEMAND:.0f} GB/s vs low-BW group "
+        f"pressure (DDR4-3200, peak {CMPSystem().timing.peak_bw_gbps:.1f} "
+        "GB/s)\n"
+    )
+    header = "policy   " + "".join(f"{p:8.0f}" for p in PRESSURES)
+    print(header + "   (low-group GB/s)")
+    for policy in ("fcfs", "frfcfs", "atlas", "tcm", "sms"):
+        speeds = victim_curve(policy)
+        row = "".join(f"{s * 100:8.1f}" for s in speeds)
+        print(f"{policy:8s} {row}")
+    print(
+        "\nfairness policies (atlas/tcm/sms) flatten at high pressure — "
+        "the contention balance point PCCS models; fcfs decays "
+        "proportionally; frfcfs favors the heavy streamers."
+    )
+
+
+if __name__ == "__main__":
+    main()

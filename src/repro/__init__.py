@@ -1,0 +1,148 @@
+"""PCCS: Processor-Centric Contention-aware Slowdown Model — reproduction.
+
+A full reimplementation of the MICRO'21 paper by Xu, Belviranli, Shen and
+Vetter, including every substrate the evaluation depends on:
+
+- :mod:`repro.core` — the PCCS three-region slowdown model, its empirical
+  construction, bandwidth scaling, multi-phase prediction, and the
+  design-space exploration workflow.
+- :mod:`repro.baselines` — the Gables state-of-the-art baseline and a
+  proportional-share strawman.
+- :mod:`repro.soc` — a heterogeneous SoC co-run simulator standing in for
+  the NVIDIA Jetson AGX Xavier and Qualcomm Snapdragon 855 platforms.
+- :mod:`repro.dram` — an event-driven DRAM/memory-controller simulator
+  with FCFS/FR-FCFS/ATLAS/TCM/SMS scheduling (the Section 2.3 study).
+- :mod:`repro.workloads` — roofline calibrators, Rodinia-style kernels
+  and layer-level DNN models.
+- :mod:`repro.profiling` — standalone/pressure/co-run measurement
+  harnesses.
+- :mod:`repro.experiments` — one module per paper table and figure.
+
+Quickstart::
+
+    from repro import xavier_agx, CoRunEngine, build_pccs_parameters, PCCSModel
+
+    engine = CoRunEngine(xavier_agx())
+    params = build_pccs_parameters(engine, "gpu")
+    model = PCCSModel(params)
+    model.relative_speed(60.0, 40.0)  # demand 60 GB/s, external 40 GB/s
+"""
+
+from repro.baselines.gables import GablesModel
+from repro.baselines.proportional import ProportionalShareModel
+from repro.core.calibration import (
+    CalibrationResult,
+    build_pccs_parameters,
+    run_calibration,
+)
+from repro.core.construction import ConstructionOptions, construct_parameters
+from repro.core.explorer import (
+    CoreCountExplorer,
+    DesignExplorer,
+    DesignPoint,
+    DesignSelection,
+    FrequencyExplorer,
+)
+from repro.core.model import PCCSModel, SlowdownPrediction
+from repro.core.io import (
+    load_calibration,
+    load_parameters,
+    save_calibration,
+    save_parameters,
+)
+from repro.core.multiphase import predict_average_bw, predict_multiphase
+from repro.core.phasedetect import detect_phases, phases_to_inputs, sample_demand_series
+from repro.core.placement import Task, best_placement, search_placements
+from repro.core.parameters import PCCSParameters, Region
+from repro.core.scaling import bandwidth_ratio, scale_parameters
+from repro.core.workflow import predict_placement, build_soc_models
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.soc.builder import custom_pu, custom_soc
+from repro.soc.configs import available_socs, snapdragon_855, soc_by_name, xavier_agx
+from repro.soc.engine import CoRunEngine, CoRunResult
+from repro.soc.power import PowerModel, explore_power_budget
+from repro.soc.spec import MCBehavior, MemorySpec, PUSpec, PUType, SoCSpec
+from repro.workloads.dnn import dnn_model, dnn_suite, mnist_calibrator
+from repro.workloads.kernel import KernelSpec, Phase
+from repro.workloads.rodinia import rodinia_kernel, rodinia_suite
+from repro.workloads.roofline import calibrator, calibrator_for_bandwidth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "PCCSModel",
+    "PCCSParameters",
+    "Region",
+    "SlowdownPrediction",
+    "ConstructionOptions",
+    "construct_parameters",
+    "CalibrationResult",
+    "run_calibration",
+    "build_pccs_parameters",
+    "scale_parameters",
+    "bandwidth_ratio",
+    "predict_multiphase",
+    "predict_average_bw",
+    "detect_phases",
+    "phases_to_inputs",
+    "sample_demand_series",
+    "Task",
+    "best_placement",
+    "search_placements",
+    "save_parameters",
+    "load_parameters",
+    "save_calibration",
+    "load_calibration",
+    "predict_placement",
+    "build_soc_models",
+    "FrequencyExplorer",
+    "CoreCountExplorer",
+    "DesignExplorer",
+    "DesignPoint",
+    "DesignSelection",
+    "PowerModel",
+    "explore_power_budget",
+    # baselines
+    "GablesModel",
+    "ProportionalShareModel",
+    # soc
+    "SoCSpec",
+    "PUSpec",
+    "PUType",
+    "MemorySpec",
+    "MCBehavior",
+    "CoRunEngine",
+    "CoRunResult",
+    "xavier_agx",
+    "snapdragon_855",
+    "soc_by_name",
+    "available_socs",
+    "custom_pu",
+    "custom_soc",
+    # workloads
+    "KernelSpec",
+    "Phase",
+    "calibrator",
+    "calibrator_for_bandwidth",
+    "rodinia_kernel",
+    "rodinia_suite",
+    "dnn_model",
+    "dnn_suite",
+    "mnist_calibrator",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CalibrationError",
+    "SimulationError",
+    "WorkloadError",
+    "PredictionError",
+]

@@ -1,0 +1,13 @@
+"""Result analysis and reporting: error metrics, tables, figure series."""
+
+from repro.analysis.errors import mean_abs_error, mean_abs_error_pct
+from repro.analysis.tables import TextTable
+from repro.analysis.series import Series, render_series
+
+__all__ = [
+    "mean_abs_error",
+    "mean_abs_error_pct",
+    "TextTable",
+    "Series",
+    "render_series",
+]

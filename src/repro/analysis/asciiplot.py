@@ -1,0 +1,69 @@
+"""Minimal ASCII line charts for terminal reports and examples.
+
+No plotting dependencies exist in this environment; a coarse character
+grid is enough to eyeball the three-region curve shapes in example
+output and saved reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.series import Series
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render series on a character grid.
+
+    Each series gets a marker character; the legend maps markers to
+    names. X positions interpolate the series' own x range onto the
+    grid, so series with different x grids can share a chart.
+    """
+    if not series_list:
+        return title
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be readable")
+    ys = [y for s in series_list for y in s.y]
+    lo = y_min if y_min is not None else min(ys)
+    hi = y_max if y_max is not None else max(ys)
+    if hi <= lo:
+        hi = lo + 1.0
+    xs = [x for s in series_list for x in s.x]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in zip(series.x, series.y):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            level = (min(max(y, lo), hi) - lo) / (hi - lo)
+            row = height - 1 - round(level * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.2f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 10 + f"{x_lo:<10.1f}" + " " * (width - 20) + f"{x_hi:>10.1f}"
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}"
+        for i, s in enumerate(series_list)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Figure series: named (x, y) data with text and CSV rendering.
+
+Experiments return :class:`Series` collections instead of drawing plots;
+the benchmark harness prints them so the paper's figures can be compared
+line by line (and re-plotted by any downstream tool from the CSV form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve of a figure."""
+
+    name: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+
+    @property
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self.x, self.y))
+
+
+def render_series(
+    series_list: Sequence[Series],
+    x_label: str = "x",
+    y_label: str = "y",
+    y_scale: float = 100.0,
+    title: str = "",
+) -> str:
+    """Render series as an aligned text block (y scaled to % by default)."""
+    if not series_list:
+        return title
+    lines = []
+    if title:
+        lines.append(title)
+    xs = series_list[0].x
+    header = f"{x_label:>24} " + " ".join(f"{x:7.1f}" for x in xs)
+    lines.append(header)
+    for s in series_list:
+        values = " ".join(f"{y * y_scale:7.1f}" for y in s.y)
+        lines.append(f"{s.name:>24} " + values)
+    if y_scale == 100.0:
+        lines.append(f"({y_label} in % of standalone)")
+    return "\n".join(lines)
+
+
+def to_csv(series_list: Sequence[Series], x_label: str = "x") -> str:
+    """CSV form: one x column plus one column per series."""
+    if not series_list:
+        return ""
+    rows: List[str] = [
+        ",".join([x_label] + [s.name for s in series_list])
+    ]
+    xs = series_list[0].x
+    for i, x in enumerate(xs):
+        cells = [f"{x:g}"] + [f"{s.y[i]:.6g}" for s in series_list]
+        rows.append(",".join(cells))
+    return "\n".join(rows)

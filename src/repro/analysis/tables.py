@@ -1,0 +1,59 @@
+"""Minimal text-table renderer for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class TextTable:
+    """Fixed-width text table with a header row.
+
+    >>> t = TextTable(["policy", "RBH"])
+    >>> t.add_row(["fcfs", "47.7"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        if not headers:
+            raise ValueError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append("  ".join("-" * w for w in widths))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Short float formatting used across reports."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_pct(fraction: float, digits: int = 1) -> str:
+    """Render a [0, 1] fraction as a percentage."""
+    return f"{fraction * 100:.{digits}f}"

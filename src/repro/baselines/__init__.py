@@ -1,0 +1,19 @@
+"""Baseline slowdown models the paper compares against.
+
+- :mod:`repro.baselines.gables` — the state-of-the-art pre-silicon model
+  (Table 10's "Analytical / Low accuracy" row).
+- :mod:`repro.baselines.bubbleup` — the high-accuracy post-silicon
+  empirical approach that needs per-application co-run profiling.
+- :mod:`repro.baselines.proportional` — a proportional-share strawman.
+"""
+
+from repro.baselines.bubbleup import BubbleUpModel, SensitivityCurve
+from repro.baselines.gables import GablesModel
+from repro.baselines.proportional import ProportionalShareModel
+
+__all__ = [
+    "GablesModel",
+    "ProportionalShareModel",
+    "BubbleUpModel",
+    "SensitivityCurve",
+]

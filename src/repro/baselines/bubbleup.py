@@ -1,0 +1,117 @@
+"""Bubble-Up style per-application sensitivity curves (Mars et al. 2011).
+
+The paper's related-work Table 10 lists Bubble-Up as the high-accuracy
+empirical alternative: measure each application's slowdown under a
+calibrated, growing memory "bubble", store the sensitivity curve, and
+look it up at prediction time. Its accuracy is excellent — but it needs a
+co-run profiling campaign *per application*, which is exactly the cost
+PCCS's processor-centric methodology eliminates (one calibrator campaign
+per PU covers arbitrary applications).
+
+This implementation makes that trade-off measurable: profiling cost is
+reported alongside accuracy in the baseline-ladder ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import PredictionError
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import KernelSpec
+from repro.workloads.roofline import calibrator_for_bandwidth, pressure_levels
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """One application's measured slowdown-vs-pressure curve."""
+
+    kernel_name: str
+    pu_name: str
+    pressures: Tuple[float, ...]
+    speeds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pressures) != len(self.speeds):
+            raise PredictionError("pressures and speeds length mismatch")
+        if not self.pressures:
+            raise PredictionError("sensitivity curve must be non-empty")
+        if list(self.pressures) != sorted(self.pressures):
+            raise PredictionError("pressures must be ascending")
+
+    def relative_speed(self, external_bw: float) -> float:
+        """Linear interpolation on the measured curve (clamped ends)."""
+        if external_bw < 0:
+            raise PredictionError("external_bw must be >= 0")
+        xs, ys = self.pressures, self.speeds
+        if external_bw <= xs[0]:
+            # Interpolate from the zero-pressure point (RS = 1).
+            if xs[0] == 0:
+                return ys[0]
+            t = external_bw / xs[0]
+            return 1.0 + t * (ys[0] - 1.0)
+        if external_bw >= xs[-1]:
+            return ys[-1]
+        j = bisect.bisect_right(xs, external_bw)
+        x0, x1 = xs[j - 1], xs[j]
+        y0, y1 = ys[j - 1], ys[j]
+        t = (external_bw - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+
+class BubbleUpModel:
+    """Per-application empirical slowdown model.
+
+    Unlike PCCS/Gables, prediction requires having *profiled that
+    application under co-run pressure* first; :meth:`profile_kernel` runs
+    the bubble campaign on the engine's machine.
+    """
+
+    def __init__(self, engine: CoRunEngine, pu_name: str, steps: int = 6):
+        if steps < 2:
+            raise PredictionError("need at least 2 bubble steps")
+        self.engine = engine
+        self.pu_name = pu_name
+        self.steps = steps
+        self._curves: Dict[str, SensitivityCurve] = {}
+        self.corun_measurements = 0  # profiling-cost counter
+
+    # ------------------------------------------------------------------
+    def profile_kernel(self, kernel: KernelSpec) -> SensitivityCurve:
+        """Run the bubble campaign for one application (cached)."""
+        cached = self._curves.get(kernel.name)
+        if cached is not None:
+            return cached
+        from repro.profiling.pressure import default_pressure_pu
+
+        source = default_pressure_pu(self.engine, self.pu_name)
+        levels = pressure_levels(self.engine.soc.peak_bw, steps=self.steps)
+        speeds = []
+        for level in levels:
+            bubble, _ = calibrator_for_bandwidth(self.engine, source, level)
+            speeds.append(
+                self.engine.relative_speed(
+                    self.pu_name, kernel, {source: bubble}
+                )
+            )
+            self.corun_measurements += 1
+        curve = SensitivityCurve(
+            kernel_name=kernel.name,
+            pu_name=self.pu_name,
+            pressures=tuple(levels),
+            speeds=tuple(speeds),
+        )
+        self._curves[kernel.name] = curve
+        return curve
+
+    def relative_speed_for(
+        self, kernel: KernelSpec, external_bw: float
+    ) -> float:
+        """Predict a profiled application's relative speed."""
+        return self.profile_kernel(kernel).relative_speed(external_bw)
+
+    def curve_for(self, kernel_name: str) -> Optional[SensitivityCurve]:
+        """The stored curve, or None if the app was never profiled."""
+        return self._curves.get(kernel_name)

@@ -1,0 +1,33 @@
+"""Pure proportional-share strawman model.
+
+Assumes the memory controller always divides the full theoretical peak
+bandwidth proportionally to requests, with no contention-free headroom at
+all. Used in ablation benchmarks to bracket Gables (which at least keeps
+co-runners unaffected below peak).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PredictionError
+from repro.units import clamp
+
+
+class ProportionalShareModel:
+    """Every GB/s requested competes proportionally for the peak."""
+
+    def __init__(self, peak_bw: float):
+        if peak_bw <= 0:
+            raise PredictionError(f"peak_bw must be positive, got {peak_bw}")
+        self.peak_bw = peak_bw
+
+    def relative_speed(self, demand_bw: float, external_bw: float) -> float:
+        """Predicted achieved relative speed under proportional sharing."""
+        if demand_bw < 0 or external_bw < 0:
+            raise PredictionError("bandwidth demands must be >= 0")
+        if demand_bw == 0:
+            return 1.0
+        # granted/demand simplifies to min(1, peak / (demand + external)),
+        # which is also numerically robust for tiny demands.
+        return clamp(
+            self.peak_bw / (demand_bw + external_bw), 0.0, 1.0
+        )

@@ -1,0 +1,146 @@
+"""Command-line interface: ``pccs <command>``.
+
+Commands
+--------
+- ``platforms`` — list built-in SoC configurations.
+- ``profile`` — standalone-profile a workload suite on a PU.
+- ``calibrate`` — construct a PU's PCCS parameters and print them.
+- ``predict`` — predict co-run relative speed for (demand, external).
+- ``experiment`` — run paper experiments (delegates to the runner).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import TextTable, fmt
+from repro.core.calibration import build_pccs_parameters
+from repro.core.model import PCCSModel
+from repro.soc.configs import available_socs, soc_by_name
+from repro.soc.engine import CoRunEngine
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_suite
+from repro.workloads.rodinia import rodinia_suite
+
+
+def _cmd_platforms(_args) -> int:
+    for name in available_socs():
+        soc = soc_by_name(name)
+        pus = ", ".join(
+            f"{pu.name} ({pu.peak_gflops:.0f} GFLOP/s)" for pu in soc.pus
+        )
+        print(f"{name}: peak {soc.peak_bw:.1f} GB/s; PUs: {pus}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    engine = CoRunEngine(soc_by_name(args.soc))
+    if args.pu == "dla":
+        suite = dnn_suite()
+    else:
+        pu_type = PUType.CPU if args.pu == "cpu" else PUType.GPU
+        suite = rodinia_suite(pu_type)
+    table = TextTable(
+        ["kernel", "standalone time (ms)", "BW demand (GB/s)"],
+        title=f"standalone profiles on {args.soc} {args.pu}",
+    )
+    for name, kernel in suite.items():
+        profile = engine.profile(kernel, args.pu)
+        table.add_row(
+            [name, fmt(profile.total_seconds * 1e3, 2), fmt(profile.avg_demand)]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    engine = CoRunEngine(soc_by_name(args.soc))
+    params = build_pccs_parameters(engine, args.pu)
+    print(params.summary())
+    if args.save:
+        from repro.core.io import save_parameters
+
+        path = save_parameters(params, args.save)
+        print(f"saved parameters to {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    if args.params:
+        from repro.core.io import load_parameters
+
+        params = load_parameters(args.params)
+    else:
+        engine = CoRunEngine(soc_by_name(args.soc))
+        params = build_pccs_parameters(engine, args.pu)
+    model = PCCSModel(params)
+    prediction = model.predict(args.demand, args.external)
+    print(
+        f"{args.soc} {args.pu}: demand {args.demand:.1f} GB/s under "
+        f"{args.external:.1f} GB/s external -> region "
+        f"{prediction.region.value}, relative speed "
+        f"{prediction.relative_speed * 100:.1f}%"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded: List[str] = list(args.names)
+    if args.all:
+        forwarded.append("--all")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return runner_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pccs",
+        description="PCCS contention-aware slowdown modeling toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list built-in SoCs").set_defaults(
+        func=_cmd_platforms
+    )
+
+    p = sub.add_parser("profile", help="standalone-profile a suite")
+    p.add_argument("--soc", default="xavier-agx")
+    p.add_argument("--pu", default="gpu", choices=["cpu", "gpu", "dla"])
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("calibrate", help="construct PCCS parameters")
+    p.add_argument("--soc", default="xavier-agx")
+    p.add_argument("--pu", default="gpu", choices=["cpu", "gpu", "dla"])
+    p.add_argument("--save", help="write the parameters to a JSON file")
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("predict", help="predict co-run relative speed")
+    p.add_argument("--soc", default="xavier-agx")
+    p.add_argument("--pu", default="gpu", choices=["cpu", "gpu", "dla"])
+    p.add_argument("--demand", type=float, required=True)
+    p.add_argument("--external", type=float, required=True)
+    p.add_argument(
+        "--params", help="load parameters from a JSON file (skip calibration)"
+    )
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("experiment", help="run paper experiments")
+    p.add_argument("names", nargs="*")
+    p.add_argument("--all", action="store_true")
+    p.add_argument("--out")
+    p.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""PCCS core: the processor-centric contention-aware slowdown model.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.parameters` — the model parameter set (Table 4 / Table 7).
+- :mod:`repro.core.model` — the three-region slowdown model (Eq. 1-5, Fig. 6).
+- :mod:`repro.core.construction` — the five-step empirical construction
+  algorithm of Section 3.2.
+- :mod:`repro.core.calibration` — calibrator sweeps that produce the
+  relative-speed matrix the construction algorithm consumes.
+- :mod:`repro.core.scaling` — linear bandwidth scaling (Section 3.3).
+- :mod:`repro.core.multiphase` — phase-weighted prediction for multi-phase
+  programs (Section 3.2, Fig. 13).
+- :mod:`repro.core.workflow` — the Fig. 7 placement-to-slowdown workflow.
+- :mod:`repro.core.explorer` — design-space exploration (Sections 3.4, 4.3).
+"""
+
+from repro.core.parameters import PCCSParameters, Region
+from repro.core.model import PCCSModel
+from repro.core.construction import ConstructionOptions, construct_parameters
+from repro.core.calibration import CalibrationResult, run_calibration
+from repro.core.scaling import scale_parameters
+from repro.core.multiphase import predict_multiphase
+
+__all__ = [
+    "PCCSParameters",
+    "Region",
+    "PCCSModel",
+    "ConstructionOptions",
+    "construct_parameters",
+    "CalibrationResult",
+    "run_calibration",
+    "scale_parameters",
+    "predict_multiphase",
+]

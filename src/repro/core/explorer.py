@@ -1,0 +1,291 @@
+"""Design-space exploration with slowdown models (paper Sections 3.4, 4.3).
+
+The flagship use case: pick the cheapest PU configuration — lowest clock
+frequency, or fewest cores — whose co-run performance stays within a
+slowdown budget of the best achievable, under a given external bandwidth
+pressure. An accurate slowdown model picks nearly the ground-truth
+configuration; Gables, which sees no contention below the peak bandwidth,
+over-provisions badly (Table 9: 2-4% vs up to 49% error; the paper also
+reports up to 50% area saved with reduced cores).
+
+Performance at a candidate design point combines two effects:
+
+- standalone performance may drop once the kernel becomes compute-bound
+  at the reduced clock / core count (profiled, or predicted pre-silicon);
+- co-run slowdown *shrinks* as the reduction lowers the kernel's
+  bandwidth demand.
+
+:class:`FrequencyExplorer` sweeps the clock; :class:`CoreCountExplorer`
+sweeps the core count; both share the selection machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.workflow import SlowdownModel
+from repro.errors import PredictionError
+from repro.soc.engine import CoRunEngine
+from repro.soc.frequency import soc_with_pu_cores, soc_with_pu_frequency
+from repro.soc.spec import SoCSpec
+from repro.workloads.kernel import KernelSpec
+from repro.workloads.roofline import calibrator_for_bandwidth
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Co-run performance of one candidate design value.
+
+    ``value`` is the explored quantity: a clock in MHz for frequency
+    exploration, a core count for core-count exploration.
+    """
+
+    value: float
+    standalone_speed: float  # work/second, standalone at this design
+    demand_bw: float
+    relative_speed: float  # predicted or measured co-run RS
+    corun_speed: float  # standalone_speed * relative_speed
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Alias of :attr:`value` for frequency explorations."""
+        return self.value
+
+    @property
+    def cores(self) -> int:
+        """Alias of :attr:`value` for core-count explorations."""
+        return int(self.value)
+
+
+# Backwards-compatible name: Table 9 code reads points as frequencies.
+FrequencyPoint = DesignPoint
+
+
+@dataclass(frozen=True)
+class DesignSelection:
+    """Outcome of one exploration."""
+
+    pu_name: str
+    kernel_name: str
+    external_bw: float
+    budget: float
+    selected: float
+    points: Tuple[DesignPoint, ...]
+
+    @property
+    def selected_mhz(self) -> float:
+        """Alias of :attr:`selected` for frequency explorations."""
+        return self.selected
+
+    def point(self, value: float) -> DesignPoint:
+        for p in self.points:
+            if p.value == value:
+                return p
+        raise PredictionError(f"no point at design value {value}")
+
+
+FrequencySelection = DesignSelection
+
+
+class DesignExplorer:
+    """Shared machinery for single-parameter design sweeps.
+
+    Parameters
+    ----------
+    soc:
+        The SoC design being explored.
+    pu_name:
+        The PU whose parameter is being chosen.
+    kernel_factory:
+        Builds the kernel of interest (it is re-profiled per variant).
+    variant_builder:
+        ``(soc, pu_name, value) -> SoCSpec`` producing the design variant.
+    pressure_pu:
+        PU generating external pressure during validation runs.
+    """
+
+    def __init__(
+        self,
+        soc: SoCSpec,
+        pu_name: str,
+        kernel_factory: Callable[[], KernelSpec],
+        variant_builder: Callable[[SoCSpec, str, float], SoCSpec],
+        pressure_pu: Optional[str] = None,
+    ) -> None:
+        self.soc = soc
+        self.pu_name = pu_name
+        self.kernel_factory = kernel_factory
+        self.variant_builder = variant_builder
+        others = [n for n in soc.pu_names if n != pu_name]
+        if not others:
+            raise PredictionError("need another PU to generate pressure")
+        self.pressure_pu = pressure_pu or (
+            "cpu" if "cpu" in others else others[0]
+        )
+        if self.pressure_pu not in others:
+            raise PredictionError(
+                f"pressure PU {self.pressure_pu!r} unavailable: {others}"
+            )
+        self._engines: Dict[float, CoRunEngine] = {}
+
+    # ------------------------------------------------------------------
+    def _engine_at(self, value: float) -> CoRunEngine:
+        engine = self._engines.get(value)
+        if engine is None:
+            variant = self.variant_builder(self.soc, self.pu_name, value)
+            engine = CoRunEngine(variant)
+            self._engines[value] = engine
+        return engine
+
+    def _standalone(self, value: float) -> Tuple[float, float]:
+        """(standalone speed in work/s, BW demand) at a design value."""
+        engine = self._engine_at(value)
+        kernel = self.kernel_factory()
+        profile = engine.profile(kernel, self.pu_name)
+        return 1.0 / profile.total_seconds, profile.avg_demand
+
+    # ------------------------------------------------------------------
+    def predicted_points(
+        self,
+        values: Sequence[float],
+        external_bw: float,
+        model: SlowdownModel,
+    ) -> Tuple[DesignPoint, ...]:
+        """Model-predicted co-run performance at each design value."""
+        points = []
+        for value in values:
+            speed, demand = self._standalone(value)
+            rs = model.relative_speed(demand, external_bw)
+            points.append(
+                DesignPoint(
+                    value=value,
+                    standalone_speed=speed,
+                    demand_bw=demand,
+                    relative_speed=rs,
+                    corun_speed=speed * rs,
+                )
+            )
+        return tuple(points)
+
+    def measured_points(
+        self, values: Sequence[float], external_bw: float
+    ) -> Tuple[DesignPoint, ...]:
+        """Ground-truth co-run performance via simulation."""
+        points = []
+        for value in values:
+            engine = self._engine_at(value)
+            kernel = self.kernel_factory()
+            speed, demand = self._standalone(value)
+            pressure, _ = calibrator_for_bandwidth(
+                engine, self.pressure_pu, external_bw
+            )
+            rs = engine.relative_speed(
+                self.pu_name, kernel, {self.pressure_pu: pressure}
+            )
+            points.append(
+                DesignPoint(
+                    value=value,
+                    standalone_speed=speed,
+                    demand_bw=demand,
+                    relative_speed=rs,
+                    corun_speed=speed * rs,
+                )
+            )
+        return tuple(points)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def select(
+        points: Sequence[DesignPoint], budget: float
+    ) -> DesignPoint:
+        """Cheapest design within ``budget`` of the best co-run speed.
+
+        ``budget`` is the allowed fractional slowdown (0.05 = "no more
+        than 5% slower than the best candidate's co-run performance").
+        """
+        if not points:
+            raise PredictionError("no design points to select from")
+        if not 0 <= budget < 1:
+            raise PredictionError(f"budget must be in [0, 1), got {budget}")
+        reference = max(p.corun_speed for p in points)
+        eligible = [
+            p for p in points if p.corun_speed >= (1.0 - budget) * reference
+        ]
+        if not eligible:
+            raise PredictionError("no design point meets the budget")
+        return min(eligible, key=lambda p: p.value)
+
+    def explore(
+        self,
+        values: Sequence[float],
+        external_bw: float,
+        budget: float,
+        model: Optional[SlowdownModel] = None,
+    ) -> DesignSelection:
+        """Full exploration: predicted (with ``model``) or ground truth."""
+        if model is not None:
+            points = self.predicted_points(values, external_bw, model)
+        else:
+            points = self.measured_points(values, external_bw)
+        chosen = self.select(points, budget)
+        kernel = self.kernel_factory()
+        return DesignSelection(
+            pu_name=self.pu_name,
+            kernel_name=kernel.name,
+            external_bw=external_bw,
+            budget=budget,
+            selected=chosen.value,
+            points=points,
+        )
+
+
+class FrequencyExplorer(DesignExplorer):
+    """Selects PU clock frequencies under a co-run slowdown budget."""
+
+    def __init__(
+        self,
+        soc: SoCSpec,
+        pu_name: str,
+        kernel_factory: Callable[[], KernelSpec],
+        pressure_pu: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            soc,
+            pu_name,
+            kernel_factory,
+            variant_builder=soc_with_pu_frequency,
+            pressure_pu=pressure_pu,
+        )
+
+
+class CoreCountExplorer(DesignExplorer):
+    """Selects PU core counts under a co-run slowdown budget.
+
+    The paper's area use case: a memory-bound kernel keeps its co-run
+    performance with far fewer cores, so an accurate slowdown model can
+    shave die area that Gables-style models would over-provision.
+    """
+
+    def __init__(
+        self,
+        soc: SoCSpec,
+        pu_name: str,
+        kernel_factory: Callable[[], KernelSpec],
+        pressure_pu: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            soc,
+            pu_name,
+            kernel_factory,
+            variant_builder=lambda s, pu, v: soc_with_pu_cores(s, pu, int(v)),
+            pressure_pu=pressure_pu,
+        )
+
+    def area_saving(
+        self, selection: DesignSelection, full_cores: int
+    ) -> float:
+        """Fraction of the PU's core area saved by the selection."""
+        if full_cores <= 0:
+            raise PredictionError("full_cores must be positive")
+        return 1.0 - selection.selected / full_cores

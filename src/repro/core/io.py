@@ -1,0 +1,138 @@
+"""Serialization of PCCS artifacts.
+
+The PCCS deployment story is "calibrate once per SoC, use everywhere":
+the constructed parameters are the artifact a design team shares. This
+module round-trips :class:`~repro.core.parameters.PCCSParameters` and
+:class:`~repro.core.calibration.CalibrationResult` through plain JSON
+(no pickle — the files are meant to be diffed, reviewed and archived).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.calibration import CalibrationResult
+from repro.core.parameters import PCCSParameters
+from repro.errors import ConfigurationError
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# PCCSParameters
+# ----------------------------------------------------------------------
+def parameters_to_dict(params: PCCSParameters) -> Dict:
+    """Plain-JSON-able representation of a parameter set."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "pccs-parameters",
+        "normal_bw": params.normal_bw,
+        "intensive_bw": params.intensive_bw,
+        "mrmc": params.mrmc,
+        "cbp": params.cbp,
+        "tbwdc": params.tbwdc,
+        "rate_n": params.rate_n,
+        "peak_bw": params.peak_bw,
+        "pu_name": params.pu_name,
+        "rate_i_override": params.rate_i_override,
+    }
+
+
+def parameters_from_dict(data: Dict) -> PCCSParameters:
+    """Inverse of :func:`parameters_to_dict` (validates on construction)."""
+    if data.get("kind") != "pccs-parameters":
+        raise ConfigurationError(
+            f"not a PCCS parameter document: kind={data.get('kind')!r}"
+        )
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    return PCCSParameters(
+        normal_bw=float(data["normal_bw"]),
+        intensive_bw=float(data["intensive_bw"]),
+        mrmc=None if data["mrmc"] is None else float(data["mrmc"]),
+        cbp=float(data["cbp"]),
+        tbwdc=float(data["tbwdc"]),
+        rate_n=float(data["rate_n"]),
+        peak_bw=float(data["peak_bw"]),
+        pu_name=str(data.get("pu_name", "")),
+        rate_i_override=(
+            None
+            if data.get("rate_i_override") is None
+            else float(data["rate_i_override"])
+        ),
+    )
+
+
+def save_parameters(
+    params: PCCSParameters, path: Union[str, Path]
+) -> Path:
+    """Write a parameter set to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(parameters_to_dict(params), indent=2) + "\n")
+    return path
+
+
+def load_parameters(path: Union[str, Path]) -> PCCSParameters:
+    """Read a parameter set from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"cannot read parameter file {path}: {exc}"
+        ) from exc
+    return parameters_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# CalibrationResult
+# ----------------------------------------------------------------------
+def calibration_to_dict(result: CalibrationResult) -> Dict:
+    """Plain-JSON-able representation of a calibration matrix."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "pccs-calibration",
+        "pu_name": result.pu_name,
+        "pressure_pu": result.pressure_pu,
+        "std_bw": list(result.std_bw),
+        "ext_bw": list(result.ext_bw),
+        "rela": [list(row) for row in result.rela],
+    }
+
+
+def calibration_from_dict(data: Dict) -> CalibrationResult:
+    """Inverse of :func:`calibration_to_dict`."""
+    if data.get("kind") != "pccs-calibration":
+        raise ConfigurationError(
+            f"not a PCCS calibration document: kind={data.get('kind')!r}"
+        )
+    return CalibrationResult(
+        pu_name=str(data["pu_name"]),
+        pressure_pu=str(data["pressure_pu"]),
+        std_bw=tuple(float(v) for v in data["std_bw"]),
+        ext_bw=tuple(float(v) for v in data["ext_bw"]),
+        rela=tuple(tuple(float(v) for v in row) for row in data["rela"]),
+    )
+
+
+def save_calibration(
+    result: CalibrationResult, path: Union[str, Path]
+) -> Path:
+    """Write a calibration matrix to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(calibration_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def load_calibration(path: Union[str, Path]) -> CalibrationResult:
+    """Read a calibration matrix from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"cannot read calibration file {path}: {exc}"
+        ) from exc
+    return calibration_from_dict(data)

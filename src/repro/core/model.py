@@ -1,0 +1,168 @@
+"""The three-region interference-conscious slowdown model (paper Section 3.1).
+
+Given a kernel's standalone bandwidth demand ``x`` on a PU and the total
+external bandwidth demand ``y`` from the other PUs, :class:`PCCSModel`
+predicts the *achieved relative speed* (RS): the fraction of the kernel's
+standalone speed that survives co-location.
+
+The model is piecewise linear per region (paper Eq. 2, 3, 5 with the
+intensive-region rate of Eq. 4). Two anchoring conventions are supported:
+
+- ``anchor="minor"`` (default): the dropping segment of the normal region
+  starts from the minor-contention level ``1 - MRMC*x/PBW``, which keeps
+  the predicted curve continuous in ``y`` and matches the geometry of the
+  paper's Fig. 6.
+- ``anchor="paper"``: the literal Eq. 3/5 anchoring at 100%. The two
+  differ by at most ``MRMC*x/PBW`` (a couple of percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.parameters import PCCSParameters, Region
+from repro.errors import PredictionError
+from repro.units import clamp
+
+_VALID_ANCHORS = ("minor", "paper")
+
+
+@dataclass(frozen=True)
+class SlowdownPrediction:
+    """One model evaluation, with the inputs that produced it."""
+
+    demand_bw: float
+    external_bw: float
+    region: Region
+    relative_speed: float
+
+    @property
+    def slowdown(self) -> float:
+        """Slowdown factor (standalone time over co-run time inverse).
+
+        A relative speed of 0.8 means the kernel runs at 80% of its
+        standalone speed, i.e. a 1.25x slowdown.
+        """
+        if self.relative_speed <= 0:
+            raise PredictionError("relative speed is zero; slowdown undefined")
+        return 1.0 / self.relative_speed
+
+
+class PCCSModel:
+    """Three-region slowdown model for one PU on one SoC.
+
+    Parameters
+    ----------
+    params:
+        The PU's :class:`~repro.core.parameters.PCCSParameters`.
+    anchor:
+        Anchoring convention for the dropping segments; see module docs.
+    floor:
+        Lower clamp on predicted relative speed. Real machines never reach
+        zero speed under fairness-controlled memory scheduling; the default
+        of 0.05 only guards against pathological parameter sets.
+    """
+
+    def __init__(
+        self,
+        params: PCCSParameters,
+        anchor: str = "minor",
+        floor: float = 0.05,
+    ) -> None:
+        if anchor not in _VALID_ANCHORS:
+            raise PredictionError(
+                f"anchor must be one of {_VALID_ANCHORS}, got {anchor!r}"
+            )
+        if not 0 <= floor < 1:
+            raise PredictionError(f"floor must be in [0, 1), got {floor}")
+        self.params = params
+        self.anchor = anchor
+        self.floor = floor
+
+    # ------------------------------------------------------------------
+    # Region formulas
+    # ------------------------------------------------------------------
+    def _minor_level(self, x: float) -> float:
+        """RS in the minor contention region (Eq. 2): constant in ``y``."""
+        p = self.params
+        return 1.0 - p.mrmc_fraction * x / p.peak_bw
+
+    def _anchor_level(self, x: float) -> float:
+        return 1.0 if self.anchor == "paper" else self._minor_level(x)
+
+    def _rs_minor(self, x: float, y: float) -> float:
+        del y  # Eq. 2 is independent of external demand.
+        return self._minor_level(x)
+
+    def _rs_normal(self, x: float, y: float) -> float:
+        """RS in the normal contention region (Eq. 3)."""
+        p = self.params
+        base = self._anchor_level(x)
+        if x + y <= p.tbwdc and y <= p.cbp:
+            return self._minor_level(x)
+        y_eff = min(y, p.cbp)
+        drop = (x + y_eff - p.tbwdc) * p.rate_n
+        return min(base - max(drop, 0.0), self._minor_level(x))
+
+    def _rs_intensive(self, x: float, y: float) -> float:
+        """RS in the intensive contention region (Eq. 5 with Eq. 4 rate)."""
+        p = self.params
+        rate_i = p.rate_i(x)
+        y_eff = min(y, p.cbp)
+        drop = (x + y_eff - p.tbwdc) * rate_i
+        return self._anchor_level(x) - max(drop, 0.0)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def region_of(self, demand_bw: float) -> Region:
+        """Classify a demand into one of the three regions (Eq. 1)."""
+        return self.params.region_of(demand_bw)
+
+    def relative_speed(self, demand_bw: float, external_bw: float) -> float:
+        """Predicted achieved relative speed in ``[floor, 1]``.
+
+        Parameters
+        ----------
+        demand_bw:
+            The kernel's standalone BW demand ``x`` on this PU (GB/s).
+        external_bw:
+            Total external BW demand ``y`` from co-running PUs (GB/s).
+        """
+        if demand_bw < 0:
+            raise PredictionError(f"demand_bw must be >= 0, got {demand_bw}")
+        if external_bw < 0:
+            raise PredictionError(
+                f"external_bw must be >= 0, got {external_bw}"
+            )
+        if external_bw == 0:
+            return 1.0
+        region = self.region_of(demand_bw)
+        if region is Region.MINOR:
+            rs = self._rs_minor(demand_bw, external_bw)
+        elif region is Region.NORMAL:
+            rs = self._rs_normal(demand_bw, external_bw)
+        else:
+            rs = self._rs_intensive(demand_bw, external_bw)
+        return clamp(rs, self.floor, 1.0)
+
+    def predict(self, demand_bw: float, external_bw: float) -> SlowdownPrediction:
+        """Evaluate the model and package the result."""
+        return SlowdownPrediction(
+            demand_bw=demand_bw,
+            external_bw=external_bw,
+            region=self.region_of(demand_bw),
+            relative_speed=self.relative_speed(demand_bw, external_bw),
+        )
+
+    def curve(
+        self, demand_bw: float, external_bws: Iterable[float]
+    ) -> List[SlowdownPrediction]:
+        """Predicted RS at each external demand, e.g. one Fig. 8 series."""
+        return [self.predict(demand_bw, y) for y in external_bws]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PCCSModel({self.params.pu_name or 'PU'}, anchor={self.anchor!r})"
+        )

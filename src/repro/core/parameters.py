@@ -1,0 +1,165 @@
+"""PCCS model parameters (paper Table 4, with values as in Table 7).
+
+A :class:`PCCSParameters` instance fully determines the slowdown model of
+one processing unit (PU) on one SoC. Parameters are produced either by the
+empirical construction algorithm (:mod:`repro.core.construction`) or by
+linear bandwidth scaling of an existing parameter set
+(:mod:`repro.core.scaling`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class Region(enum.Enum):
+    """The three contention regions of the PCCS model (paper Eq. 1)."""
+
+    MINOR = "minor"
+    NORMAL = "normal"
+    INTENSIVE = "intensive"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PCCSParameters:
+    """Parameters of a PU's three-region slowdown model.
+
+    Attributes
+    ----------
+    normal_bw:
+        BW demand (GB/s) separating the minor and normal contention
+        regions. Zero means the PU has no minor region (the paper's DLA).
+    intensive_bw:
+        BW demand (GB/s) separating the normal and intensive regions.
+    mrmc:
+        Maximum Reduction of Minor Contention: the worst speed loss
+        observed for a minor-region kernel at maximal external pressure,
+        as a fraction (the paper's Table 7 reports it in percent). Used
+        in Eq. 2 as written (``RS = 1 - MRMC * x / PBW``), which slightly
+        under-weights minor drops for the lightest kernels — an
+        inaccuracy the paper's formulation carries and that stays within
+        MRMC itself (a few percent). ``None`` when the PU has no minor
+        region (the paper reports "NA" for the DLA).
+    cbp:
+        Contention Balance Point (GB/s): the external demand where the
+        speed curve goes flat.
+    tbwdc:
+        Total Bandwidth Demand with Contention (GB/s): the combined
+        (own + external) demand where the speed curve starts dropping.
+    rate_n:
+        Reduction rate in the normal contention region, as a fraction of
+        standalone speed lost per GB/s of excess combined demand.
+    peak_bw:
+        Theoretical peak bandwidth of the whole SoC (GB/s).
+    pu_name:
+        Optional label of the PU this model describes (e.g. ``"gpu"``).
+    """
+
+    normal_bw: float
+    intensive_bw: float
+    mrmc: Optional[float]
+    cbp: float
+    tbwdc: float
+    rate_n: float
+    peak_bw: float
+    pu_name: str = ""
+    rate_i_override: Optional[float] = None
+    """Empirically fitted intensive-region rate. When the calibration
+    sweep contains intensive-region rows, the construction algorithm fits
+    this rate directly (the same flat-level inversion used for rate_n);
+    the model then prefers it over the analytically derived Eq. 4 rate,
+    which assumes the paper machine's geometry (TBWDC below the intensive
+    boundary)."""
+
+    def __post_init__(self) -> None:
+        if self.peak_bw <= 0:
+            raise ConfigurationError(f"peak_bw must be positive, got {self.peak_bw}")
+        if self.normal_bw < 0:
+            raise ConfigurationError(f"normal_bw must be >= 0, got {self.normal_bw}")
+        if self.intensive_bw < self.normal_bw:
+            raise ConfigurationError(
+                "intensive_bw must be >= normal_bw "
+                f"({self.intensive_bw} < {self.normal_bw})"
+            )
+        if self.cbp <= 0:
+            raise ConfigurationError(f"cbp must be positive, got {self.cbp}")
+        if self.tbwdc <= 0:
+            raise ConfigurationError(f"tbwdc must be positive, got {self.tbwdc}")
+        if self.rate_n < 0:
+            raise ConfigurationError(f"rate_n must be >= 0, got {self.rate_n}")
+        if self.mrmc is not None and not 0 <= self.mrmc <= 1:
+            raise ConfigurationError(f"mrmc must be in [0, 1], got {self.mrmc}")
+        if self.rate_i_override is not None and self.rate_i_override < 0:
+            raise ConfigurationError(
+                f"rate_i_override must be >= 0, got {self.rate_i_override}"
+            )
+        if self.normal_bw == 0 and self.mrmc not in (None, 0.0):
+            raise ConfigurationError(
+                "a PU without a minor region (normal_bw == 0) cannot have mrmc"
+            )
+
+    @property
+    def has_minor_region(self) -> bool:
+        """Whether the PU exhibits a minor contention region at all."""
+        return self.normal_bw > 0
+
+    @property
+    def mrmc_fraction(self) -> float:
+        """Eq. 2 slope as a plain float, 0.0 without a minor region."""
+        return self.mrmc if self.mrmc is not None else 0.0
+
+    @property
+    def max_minor_reduction(self) -> Optional[float]:
+        """The paper's reported MRMC (alias of :attr:`mrmc`)."""
+        return self.mrmc
+
+    def region_of(self, demand_bw: float) -> Region:
+        """Classify a kernel's standalone BW demand into a region (Eq. 1)."""
+        if demand_bw < 0:
+            raise ConfigurationError(f"demand_bw must be >= 0, got {demand_bw}")
+        if demand_bw <= self.normal_bw:
+            return Region.MINOR
+        if demand_bw <= self.intensive_bw:
+            return Region.NORMAL
+        return Region.INTENSIVE
+
+    def rate_i(self, demand_bw: float) -> float:
+        """Reduction rate in the intensive region for demand ``x``.
+
+        Uses the empirically fitted rate when available, otherwise the
+        paper's Eq. 4: ``rate_I = rate_N * (x + CBP - TBWDC) / CBP`` —
+        the value grows with the kernel's own demand, reflecting that
+        heavier kernels are hit harder by the same external pressure.
+        """
+        if self.rate_i_override is not None:
+            return self.rate_i_override
+        rate = self.rate_n * (demand_bw + self.cbp - self.tbwdc) / self.cbp
+        return max(rate, self.rate_n)
+
+    @property
+    def representative_rate_i(self) -> float:
+        """``rate_I`` evaluated at the intensive-region boundary.
+
+        This is the single Rate^I number Table 7 of the paper reports.
+        """
+        return self.rate_i(self.intensive_bw)
+
+    def summary(self) -> str:
+        """Human-readable one-PU parameter summary, Table 7 style."""
+        reduction = self.max_minor_reduction
+        mrmc = "NA" if reduction is None else f"{reduction * 100:.1f}%"
+        name = self.pu_name or "PU"
+        return (
+            f"{name}: normalBW={self.normal_bw:.1f} GB/s, "
+            f"intensiveBW={self.intensive_bw:.1f} GB/s, MRMC={mrmc}, "
+            f"CBP={self.cbp:.1f} GB/s, TBWDC={self.tbwdc:.1f} GB/s, "
+            f"rateN={self.rate_n * 100:.2f} %/(GB/s), "
+            f"rateI={self.representative_rate_i * 100:.2f} %/(GB/s)"
+        )

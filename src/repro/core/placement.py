@@ -1,0 +1,152 @@
+"""Task-placement search (the paper's Fig. 1 design problem).
+
+"An SoC design team needs to build an SoC to support the execution of
+some important workloads ... a mapping of kernels K1 and K2 to PUs in a
+system" (Sections 1, 3.4). This module searches placements of a kernel
+set onto an SoC's PUs, scoring each candidate with PCCS-predicted co-run
+slowdowns, and ranks them by an objective:
+
+- ``"worst-speed"`` (default): maximize the slowest module's relative
+  speed (QoS-style: no module starves);
+- ``"makespan"``: minimize the predicted completion time of the longest
+  module (throughput-style).
+
+Kernels are given per-PU-capable variants (real deployments have
+different binaries per PU; our Rodinia models are per-PU-typed), so a
+candidate assigns each *task* the kernel variant of its target PU.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.workflow import SlowdownModel, predict_placement
+from repro.errors import PredictionError
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import KernelSpec
+
+_OBJECTIVES = ("worst-speed", "makespan")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One module of the workload, with its per-PU implementations."""
+
+    name: str
+    variants: Mapping[str, KernelSpec]  # pu_name -> kernel
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise PredictionError(
+                f"task {self.name!r} has no PU implementation"
+            )
+
+    @property
+    def supported_pus(self) -> Tuple[str, ...]:
+        return tuple(self.variants)
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One scored assignment of tasks to PUs."""
+
+    assignment: Tuple[Tuple[str, str], ...]  # (task, pu) pairs
+    relative_speeds: Tuple[Tuple[str, float], ...]  # (task, RS)
+    predicted_times: Tuple[Tuple[str, float], ...]  # (task, seconds)
+
+    @property
+    def worst_speed(self) -> float:
+        return min(rs for _, rs in self.relative_speeds)
+
+    @property
+    def makespan(self) -> float:
+        return max(t for _, t in self.predicted_times)
+
+    def pu_of(self, task_name: str) -> str:
+        for task, pu in self.assignment:
+            if task == task_name:
+                return pu
+        raise PredictionError(f"task {task_name!r} not in assignment")
+
+
+def enumerate_placements(
+    tasks: Sequence[Task], pu_names: Sequence[str]
+) -> List[Dict[str, str]]:
+    """All feasible one-task-per-PU assignments."""
+    if len(tasks) > len(pu_names):
+        raise PredictionError(
+            f"{len(tasks)} tasks cannot each get one of "
+            f"{len(pu_names)} PUs"
+        )
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise PredictionError(f"duplicate task names: {names}")
+    out = []
+    for pus in itertools.permutations(pu_names, len(tasks)):
+        if all(
+            pu in task.variants for task, pu in zip(tasks, pus)
+        ):
+            out.append({t.name: pu for t, pu in zip(tasks, pus)})
+    return out
+
+
+def search_placements(
+    engine: CoRunEngine,
+    models: Mapping[str, SlowdownModel],
+    tasks: Sequence[Task],
+    objective: str = "worst-speed",
+) -> List[PlacementCandidate]:
+    """Score every feasible placement; best first.
+
+    Uses only standalone profiles plus the slowdown models — the
+    pre-silicon workflow. Validate the winner with
+    :meth:`CoRunEngine.corun` if the machine (or silicon) exists.
+    """
+    if objective not in _OBJECTIVES:
+        raise PredictionError(
+            f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+        )
+    assignments = enumerate_placements(tasks, engine.soc.pu_names)
+    if not assignments:
+        raise PredictionError("no feasible placement exists")
+    task_by_name = {t.name: t for t in tasks}
+    candidates = []
+    for assignment in assignments:
+        placements = {
+            pu: task_by_name[task].variants[pu]
+            for task, pu in assignment.items()
+        }
+        prediction = predict_placement(engine, models, placements)
+        speeds = []
+        times = []
+        for task_name, pu in assignment.items():
+            rs = prediction.relative_speed(pu)
+            speeds.append((task_name, rs))
+            standalone = engine.standalone_seconds(
+                task_by_name[task_name].variants[pu], pu
+            )
+            times.append((task_name, standalone / rs))
+        candidates.append(
+            PlacementCandidate(
+                assignment=tuple(sorted(assignment.items())),
+                relative_speeds=tuple(sorted(speeds)),
+                predicted_times=tuple(sorted(times)),
+            )
+        )
+    if objective == "worst-speed":
+        candidates.sort(key=lambda c: -c.worst_speed)
+    else:
+        candidates.sort(key=lambda c: c.makespan)
+    return candidates
+
+
+def best_placement(
+    engine: CoRunEngine,
+    models: Mapping[str, SlowdownModel],
+    tasks: Sequence[Task],
+    objective: str = "worst-speed",
+) -> PlacementCandidate:
+    """The top-ranked placement (see :func:`search_placements`)."""
+    return search_placements(engine, models, tasks, objective)[0]

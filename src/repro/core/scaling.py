@@ -1,0 +1,91 @@
+"""Linear bandwidth scaling of PCCS parameters (paper Section 3.3).
+
+Memory changes across SoC generations are mostly incremental (I/O clock
+and channel count). The five bandwidth-typed PCCS parameters scale
+linearly with the resulting theoretical-bandwidth ratio; the reduction
+rates are recomputed from the scaled values (a rate in %/(GB/s) scales
+inversely). Table 5 of the paper reports <3% average error from this
+shortcut versus re-running the full empirical construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.core.parameters import PCCSParameters
+from repro.errors import ConfigurationError
+
+
+def bandwidth_ratio(
+    original_freq_mhz: float,
+    target_freq_mhz: float,
+    original_channels: int = 1,
+    target_channels: int = 1,
+) -> float:
+    """Theoretical-bandwidth ratio implied by frequency/channel changes."""
+    if min(original_freq_mhz, target_freq_mhz) <= 0:
+        raise ConfigurationError("frequencies must be positive")
+    if min(original_channels, target_channels) <= 0:
+        raise ConfigurationError("channel counts must be positive")
+    return (target_freq_mhz * target_channels) / (
+        original_freq_mhz * original_channels
+    )
+
+
+def scale_parameters(params: PCCSParameters, ratio: float) -> PCCSParameters:
+    """PCCS parameters linearly scaled to a new memory bandwidth.
+
+    The bandwidth-typed parameters (normal BW, intensive BW, CBP, TBWDC,
+    peak BW) scale by ``ratio``; MRMC — a pure percentage — is unchanged;
+    ``rate_n`` (% per GB/s) scales by ``1/ratio`` so that the *shape* of
+    the curve in normalized coordinates is preserved. ``rate_i`` follows
+    automatically since it is derived (Eq. 4).
+    """
+    if ratio <= 0:
+        raise ConfigurationError(f"ratio must be positive, got {ratio}")
+    return replace(
+        params,
+        normal_bw=params.normal_bw * ratio,
+        intensive_bw=params.intensive_bw * ratio,
+        cbp=params.cbp * ratio,
+        tbwdc=params.tbwdc * ratio,
+        rate_n=params.rate_n / ratio,
+        peak_bw=params.peak_bw * ratio,
+        rate_i_override=(
+            params.rate_i_override / ratio
+            if params.rate_i_override is not None
+            else None
+        ),
+    )
+
+
+def scaling_errors(
+    scaled: PCCSParameters, constructed: PCCSParameters
+) -> Dict[str, float]:
+    """Relative error of each scaled parameter vs an empirical rebuild.
+
+    This is the paper's Table 5 metric: how far the linearly scaled
+    parameters are from the ones constructed by re-profiling the machine
+    at the new memory configuration. Returns fractional errors keyed by
+    parameter name (mrmc compared absolutely since it is a percentage).
+    """
+
+    def rel(a: float, b: float) -> float:
+        if b == 0:
+            return abs(a - b)
+        return abs(a - b) / abs(b)
+
+    errors = {
+        "normal_bw": rel(scaled.normal_bw, constructed.normal_bw),
+        "intensive_bw": rel(scaled.intensive_bw, constructed.intensive_bw),
+        "cbp": rel(scaled.cbp, constructed.cbp),
+        "tbwdc": rel(scaled.tbwdc, constructed.tbwdc),
+        "rate_n": rel(scaled.rate_n, constructed.rate_n),
+        "rate_i": rel(
+            scaled.representative_rate_i, constructed.representative_rate_i
+        ),
+    }
+    if scaled.mrmc is not None and constructed.mrmc is not None:
+        errors["mrmc"] = abs(scaled.mrmc - constructed.mrmc)
+    return errors

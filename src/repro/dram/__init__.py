@@ -1,0 +1,29 @@
+"""Event-driven DRAM / memory-controller simulator.
+
+The stand-in for the paper's Ramulator+Pin setup (Section 2.3): a 16-core
+CMP front end driving a multi-channel DDR4 memory system through a
+request buffer, with pluggable scheduling policies — FCFS, FR-FCFS,
+ATLAS, TCM and SMS (Table 2). Used to validate that *fairness control* in
+the memory controller is what produces the three-region co-run slowdown
+curves (Fig. 5) and to reproduce the row-buffer-hit-rate / effective-
+bandwidth comparison (Table 3).
+"""
+
+from repro.dram.timing import DDR4_3200, DramTiming
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.request import Request
+from repro.dram.system import CMPSystem, GroupResult, SimResult
+from repro.dram.schedulers import available_policies, make_scheduler
+
+__all__ = [
+    "DDR4_3200",
+    "DramTiming",
+    "AddressMapper",
+    "DecodedAddress",
+    "Request",
+    "CMPSystem",
+    "SimResult",
+    "GroupResult",
+    "available_policies",
+    "make_scheduler",
+]

@@ -1,0 +1,73 @@
+"""Aggregate statistics of a DRAM simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DramMetrics:
+    """Counters accumulated while a simulation runs."""
+
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_served: int = 0
+    per_core_bytes: Dict[int, int] = field(default_factory=dict)
+    sum_queue_latency_ns: float = 0.0
+    dispatches: int = 0
+    latencies_ns: List[float] = field(default_factory=list)
+
+    def record(self, core: int, row_hit: bool, latency_ns: float) -> None:
+        if row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+        self.bytes_served += 64
+        self.per_core_bytes[core] = self.per_core_bytes.get(core, 0) + 64
+        self.sum_queue_latency_ns += latency_ns
+        self.dispatches += 1
+        self.latencies_ns.append(latency_ns)
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th latency percentile in ns (q in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(
+            int(round(q / 100.0 * (len(ordered) - 1))), len(ordered) - 1
+        )
+        return ordered[index]
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return (
+            self.sum_queue_latency_ns / self.dispatches
+            if self.dispatches
+            else 0.0
+        )
+
+    def effective_bw_gbps(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_served / elapsed_ns  # bytes per ns == GB/s
+
+
+def unfairness_index(slowdowns) -> float:
+    """Max-over-min slowdown across cores (Kim et al.'s metric).
+
+    1.0 is perfectly fair; the fairness-control literature the paper
+    builds on (ATLAS/TCM) optimizes exactly this ratio. Slowdowns are
+    standalone-time over co-run-time inverses, i.e. ``1 / RS``.
+    """
+    values = [s for s in slowdowns if s > 0]
+    if not values:
+        raise ValueError("need at least one positive slowdown")
+    return max(values) / min(values)

@@ -1,0 +1,49 @@
+"""Memory-controller scheduling policies (paper Table 2)."""
+
+from repro.dram.schedulers.base import Scheduler
+from repro.dram.schedulers.fcfs import FCFSScheduler
+from repro.dram.schedulers.frfcfs import FRFCFSScheduler
+from repro.dram.schedulers.atlas import AtlasScheduler
+from repro.dram.schedulers.tcm import TCMScheduler
+from repro.dram.schedulers.sms import SMSScheduler
+
+from repro.errors import ConfigurationError
+
+_POLICIES = {
+    "fcfs": FCFSScheduler,
+    "frfcfs": FRFCFSScheduler,
+    "atlas": AtlasScheduler,
+    "tcm": TCMScheduler,
+    "sms": SMSScheduler,
+}
+
+FAIRNESS_POLICIES = ("atlas", "tcm", "sms")
+"""Policies that adopt fairness control (the paper's last three)."""
+
+
+def available_policies():
+    """Names of all implemented scheduling policies."""
+    return tuple(sorted(_POLICIES))
+
+
+def make_scheduler(name: str, n_cores: int, seed: int = 0) -> Scheduler:
+    """Instantiate a policy by name."""
+    cls = _POLICIES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        )
+    return cls(n_cores=n_cores, seed=seed)
+
+
+__all__ = [
+    "Scheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "AtlasScheduler",
+    "TCMScheduler",
+    "SMSScheduler",
+    "available_policies",
+    "make_scheduler",
+    "FAIRNESS_POLICIES",
+]

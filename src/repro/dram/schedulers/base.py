@@ -1,0 +1,79 @@
+"""Scheduler interface shared by all policies."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.errors import SimulationError
+
+
+class Scheduler:
+    """Chooses which queued request a channel dispatches next.
+
+    One scheduler instance serves all channels of the controller so
+    policies with global per-core state (attained service, clustering)
+    see the full picture. Subclasses implement :meth:`select`.
+    """
+
+    name = "base"
+
+    def __init__(self, n_cores: int, seed: int = 0):
+        if n_cores <= 0:
+            raise SimulationError("n_cores must be positive")
+        self.n_cores = n_cores
+        self.seed = seed
+
+    def select(
+        self, queue: Sequence[Request], channel: ChannelState, now: float
+    ) -> Request:
+        """Pick the next request to dispatch from a non-empty queue."""
+        raise NotImplementedError
+
+    def on_dispatch(self, request: Request, now: float) -> None:
+        """Notification hook after a request is dispatched."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def oldest(requests: Sequence[Request]) -> Request:
+        """FCFS tiebreaker: earliest arrival, then lowest id."""
+        return min(requests, key=lambda r: (r.arrival_ns, r.req_id))
+
+    @staticmethod
+    def row_hits(
+        requests: Sequence[Request], channel: ChannelState
+    ) -> List[Request]:
+        """Requests that would hit their bank's open row."""
+        return [r for r in requests if channel.is_row_hit(r)]
+
+    def hit_first_oldest(
+        self, requests: Sequence[Request], channel: ChannelState
+    ) -> Request:
+        """Prefer row hits, then oldest — the FR-FCFS core rule."""
+        hits = self.row_hits(requests, channel)
+        return self.oldest(hits) if hits else self.oldest(requests)
+
+    @staticmethod
+    def ready_subset(
+        requests: Sequence[Request],
+        channel: ChannelState,
+        now: float,
+        window_ns: float = 3.0,
+    ) -> List[Request]:
+        """Requests whose data burst could start almost immediately.
+
+        Real controllers only issue *ready* commands; thread-priority
+        rules apply among them. Restricting selection to the ready subset
+        (when non-empty) lets bank preparation overlap the bus instead of
+        stalling it. FCFS deliberately does not use this — head-of-line
+        blocking is its defining flaw.
+        """
+        ready = [
+            r
+            for r in requests
+            if channel.earliest_data_start(r, now) <= now + window_ns
+        ]
+        return ready if ready else list(requests)

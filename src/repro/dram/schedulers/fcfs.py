@@ -1,0 +1,25 @@
+"""First-come-first-serve: requests dispatched strictly chronologically.
+
+No locality awareness: interleaved streams thrash row buffers, giving the
+low row-hit rate and low effective bandwidth of the paper's Table 3, and
+the proportional slowdown curves of Fig. 5(a).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.dram.schedulers.base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Strictly chronological dispatch."""
+
+    name = "fcfs"
+
+    def select(
+        self, queue: Sequence[Request], channel: ChannelState, now: float
+    ) -> Request:
+        return self.oldest(queue)

@@ -1,0 +1,24 @@
+"""First-ready FCFS (Rixner et al.): row hits first, then oldest.
+
+Maximizes row-buffer hit rate and bus utilization but has no fairness
+control — memory-intensive streams starve lighter ones (Fig. 5(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.dram.schedulers.base import Scheduler
+
+
+class FRFCFSScheduler(Scheduler):
+    """Row-hit-first dispatch."""
+
+    name = "frfcfs"
+
+    def select(
+        self, queue: Sequence[Request], channel: ChannelState, now: float
+    ) -> Request:
+        return self.hit_first_oldest(queue, channel)

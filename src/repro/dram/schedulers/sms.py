@@ -1,0 +1,83 @@
+"""SMS: Staged Memory Scheduling.
+
+Steps (paper Table 2):
+1. group each source's requests to the same row into batches,
+2. schedule batches shortest-job-first with probability ``p``, and
+   round-robin with probability ``1 - p``.
+
+A selected batch is served to completion (sticky), which preserves row
+locality per source while the batch scheduler enforces fairness across
+sources (Ausavarungnirun et al., ISCA 2012).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.dram.schedulers.base import Scheduler
+
+_SJF_PROBABILITY = 0.9
+_MAX_BATCH = 8
+
+
+class SMSScheduler(Scheduler):
+    """Batched fairness scheduling."""
+
+    name = "sms"
+
+    def __init__(self, n_cores: int, seed: int = 0):
+        super().__init__(n_cores, seed)
+        self._rng = random.Random(seed)
+        self._active_core: Optional[int] = None
+        self._active_row: Optional[int] = None
+        self._rr_pointer = 0
+
+    @staticmethod
+    def _head_batch(requests: List[Request]) -> List[Request]:
+        """The leading same-row run of one core's queue (capped)."""
+        head = sorted(requests, key=lambda r: (r.arrival_ns, r.req_id))
+        batch = [head[0]]
+        for r in head[1:]:
+            if len(batch) >= _MAX_BATCH:
+                break
+            if r.row == batch[0].row and r.bank == batch[0].bank:
+                batch.append(r)
+            else:
+                break
+        return batch
+
+    def select(
+        self, queue: Sequence[Request], channel: ChannelState, now: float
+    ) -> Request:
+        by_core = {}
+        for r in queue:
+            by_core.setdefault(r.core, []).append(r)
+
+        # Stick with the active batch while it still has requests queued.
+        if self._active_core in by_core:
+            active = [
+                r
+                for r in by_core[self._active_core]
+                if r.row == self._active_row
+            ]
+            if active:
+                return self.oldest(active)
+        # Pick a new batch: SJF with probability p, else round-robin.
+        # "Shortest job" is the source with the least queued traffic, so
+        # light applications cut ahead of bandwidth hogs.
+        batches = {core: self._head_batch(rs) for core, rs in by_core.items()}
+        if self._rng.random() < _SJF_PROBABILITY:
+            core = min(
+                batches,
+                key=lambda c: (len(by_core[c]), batches[c][0].arrival_ns),
+            )
+        else:
+            cores = sorted(batches)
+            core = cores[self._rr_pointer % len(cores)]
+            self._rr_pointer += 1
+        self._active_core = core
+        self._active_row = batches[core][0].row
+        return batches[core][0]

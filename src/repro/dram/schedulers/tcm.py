@@ -1,0 +1,79 @@
+"""TCM: Thread Cluster Memory scheduling.
+
+Prioritization order (paper Table 2):
+1. requests from non-memory-intensive programs (latency cluster),
+2. memory-intensive programs by periodically shuffled rank,
+3. row-hit requests,
+4. oldest requests.
+
+Each quantum, cores are sorted by bandwidth consumed; the lightest cores
+whose combined share stays below a threshold form the latency cluster,
+the rest form the bandwidth cluster whose ranks rotate every quantum
+(Kim et al., MICRO 2010's "insertion shuffle" approximated by rotation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.dram.schedulers.base import Scheduler
+
+_QUANTUM_NS = 10_000.0
+_CLUSTER_THRESHOLD = 0.15  # latency cluster's share of total traffic
+
+
+class TCMScheduler(Scheduler):
+    """Thread-cluster fairness scheduling."""
+
+    name = "tcm"
+
+    def __init__(self, n_cores: int, seed: int = 0):
+        super().__init__(n_cores, seed)
+        self._rng = random.Random(seed)
+        self.quantum_bytes = [0.0] * n_cores
+        self.latency_cluster = set(range(n_cores))
+        self.rank = list(range(n_cores))
+        self._next_quantum = _QUANTUM_NS
+
+    def _reclassify(self) -> None:
+        total = sum(self.quantum_bytes)
+        order = sorted(range(self.n_cores), key=lambda c: self.quantum_bytes[c])
+        self.latency_cluster = set()
+        acc = 0.0
+        for core in order:
+            if total == 0 or (
+                (acc + self.quantum_bytes[core]) <= _CLUSTER_THRESHOLD * total
+            ):
+                self.latency_cluster.add(core)
+                acc += self.quantum_bytes[core]
+        bandwidth_cores = [
+            c for c in range(self.n_cores) if c not in self.latency_cluster
+        ]
+        self._rng.shuffle(bandwidth_cores)
+        ranking = {core: i for i, core in enumerate(bandwidth_cores)}
+        self.rank = [ranking.get(c, -1) for c in range(self.n_cores)]
+        self.quantum_bytes = [0.0] * self.n_cores
+
+    def _tick(self, now: float) -> None:
+        while now >= self._next_quantum:
+            self._reclassify()
+            self._next_quantum += _QUANTUM_NS
+
+    def select(
+        self, queue: Sequence[Request], channel: ChannelState, now: float
+    ) -> Request:
+        self._tick(now)
+        pool = self.ready_subset(queue, channel, now)
+        latency = [r for r in pool if r.core in self.latency_cluster]
+        if latency:
+            return self.hit_first_oldest(latency, channel)
+        best_rank = min(self.rank[r.core] for r in pool)
+        candidates = [r for r in pool if self.rank[r.core] == best_rank]
+        return self.hit_first_oldest(candidates, channel)
+
+    def on_dispatch(self, request: Request, now: float) -> None:
+        self._tick(now)
+        self.quantum_bytes[request.core] += 64.0

@@ -1,0 +1,323 @@
+"""The CMP memory-system simulator (event-driven engine).
+
+Couples the core front ends (:mod:`repro.dram.cores`), the address mapper
+and channel/bank state, and a scheduling policy into one discrete-event
+simulation. Used by the Fig. 5 / Table 3 experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import ChannelState
+from repro.dram.cores import CoreConfig, CoreState, staggered_base
+from repro.dram.metrics import DramMetrics
+from repro.dram.request import Request
+from repro.dram.schedulers import make_scheduler
+from repro.dram.timing import DDR4_3200, DramTiming
+from repro.errors import SimulationError
+
+_GEN, _SERVE, _COMPLETE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Per-core outcome of one run."""
+
+    index: int
+    demand_gbps: float
+    issued: int
+    completed: int
+    finish_ns: Optional[float]
+    achieved_gbps: float
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Aggregated outcome of a set of cores (one 'program group')."""
+
+    cores: Tuple[int, ...]
+    demand_gbps: float
+    achieved_gbps: float
+    finish_ns: Optional[float]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one DRAM simulation."""
+
+    policy: str
+    elapsed_ns: float
+    cores: Tuple[CoreResult, ...]
+    row_hit_rate: float
+    effective_bw_gbps: float
+    mean_latency_ns: float
+    p50_latency_ns: float = 0.0
+    p99_latency_ns: float = 0.0
+
+    def core(self, index: int) -> CoreResult:
+        return self.cores[index]
+
+    def group(self, indices: Sequence[int]) -> GroupResult:
+        members = [self.cores[i] for i in indices]
+        finishes = [c.finish_ns for c in members]
+        finish = max(finishes) if all(f is not None for f in finishes) else None
+        return GroupResult(
+            cores=tuple(indices),
+            demand_gbps=sum(c.demand_gbps for c in members),
+            achieved_gbps=sum(c.achieved_gbps for c in members),
+            finish_ns=finish,
+        )
+
+
+class CMPSystem:
+    """A 16-core (by default) CMP sharing one DRAM controller.
+
+    Parameters
+    ----------
+    timing:
+        DRAM configuration; defaults to the paper's DDR4-3200 (Table 1).
+    policy:
+        Scheduling policy name (``fcfs``, ``frfcfs``, ``atlas``, ``tcm``,
+        ``sms``).
+    seed:
+        Seed for stochastic policies (TCM shuffle, SMS probabilistic
+        stage); the engine itself is deterministic.
+    """
+
+    def __init__(
+        self,
+        timing: DramTiming = DDR4_3200,
+        policy: str = "frfcfs",
+        seed: int = 0,
+    ):
+        self.timing = timing
+        self.policy_name = policy
+        self.seed = seed
+        self.mapper = AddressMapper(timing)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cores: Sequence[CoreConfig],
+        stop_cores: Optional[Set[int]] = None,
+        max_ns: float = 1e9,
+    ) -> SimResult:
+        """Simulate until completion (or until ``stop_cores`` finish).
+
+        Parameters
+        ----------
+        cores:
+            Traffic configuration per core.
+        stop_cores:
+            If given, the run ends once every listed core finished; other
+            cores act as background pressure and may be left unfinished.
+        max_ns:
+            Simulated-time guard.
+        """
+        if not cores:
+            raise SimulationError("at least one core required")
+        scheduler = make_scheduler(
+            self.policy_name, n_cores=len(cores), seed=self.seed
+        )
+        states = [CoreState(index=i, config=c) for i, c in enumerate(cores)]
+        channels = [
+            ChannelState(index=i, timing=self.timing)
+            for i in range(self.timing.channels)
+        ]
+        queues: List[List[Request]] = [[] for _ in channels]
+        serve_scheduled = [False] * len(channels)
+        metrics = DramMetrics()
+        buffer_used = 0
+        buffer_cap = self.timing.request_buffer
+        buffer_waiters: List[int] = []
+        must_finish = (
+            set(stop_cores) if stop_cores is not None else set(range(len(cores)))
+        )
+
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, int]] = []
+
+        def push(time: float, kind: int, payload: int) -> None:
+            heapq.heappush(events, (time, next(counter), kind, payload))
+
+        def push_gen(time: float, core: int) -> None:
+            if not states[core].gen_pending:
+                states[core].gen_pending = True
+                push(time, _GEN, core)
+
+        def wake_channel(ch: int, now: float) -> None:
+            if not serve_scheduled[ch] and queues[ch]:
+                serve_scheduled[ch] = True
+                push(max(now, channels[ch].bus_free_at), _SERVE, ch)
+
+        for state in states:
+            push_gen(0.0, state.index)
+
+        now = 0.0
+        request_ids = itertools.count()
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if now > max_ns:
+                break
+            if kind == _GEN:
+                state = states[payload]
+                state.gen_pending = False
+                if state.done_issuing:
+                    continue
+                if now + 1e-12 < state.next_gen_ns:
+                    # Woken early (completion/buffer space): respect the
+                    # demand pacing — cores never run ahead of their rate.
+                    push_gen(state.next_gen_ns, state.index)
+                    continue
+                issued_now = 0
+                touched = set()
+                while (
+                    issued_now < state.config.burst_lines
+                    and not state.done_issuing
+                ):
+                    if state.config.trace is not None:
+                        is_write = state.config.trace.records[
+                            state.issued
+                        ].is_write
+                    else:
+                        is_write = state.config.is_write_index(state.issued)
+                    if not is_write and state.inflight >= state.config.mshr:
+                        state.blocked = True
+                        break
+                    if buffer_used >= buffer_cap:
+                        state.blocked = True
+                        if payload not in buffer_waiters:
+                            buffer_waiters.append(payload)
+                        break
+                    state.blocked = False
+                    address, is_write = state.next_access()
+                    decoded = self.mapper.decode(address)
+                    request = Request(
+                        req_id=next(request_ids),
+                        core=state.index,
+                        channel=decoded.channel,
+                        bank=decoded.bank,
+                        row=decoded.row,
+                        arrival_ns=now,
+                        is_write=is_write,
+                    )
+                    queues[decoded.channel].append(request)
+                    buffer_used += 1
+                    state.issued += 1
+                    if not is_write:
+                        state.inflight += 1
+                    issued_now += 1
+                    touched.add(decoded.channel)
+                for ch in touched:
+                    wake_channel(ch, now)
+                if issued_now:
+                    state.next_gen_ns = (
+                        max(state.next_gen_ns, now)
+                        + issued_now * state.config.interval_ns
+                    )
+                    if not state.done_issuing and not state.blocked:
+                        push_gen(state.next_gen_ns, state.index)
+            elif kind == _SERVE:
+                ch = payload
+                serve_scheduled[ch] = False
+                queue = queues[ch]
+                if not queue:
+                    continue
+                channel = channels[ch]
+                if channel.refresh_if_due(now):
+                    wake_channel(ch, now)
+                    continue
+                if now + 1e-12 < channel.bus_free_at:
+                    wake_channel(ch, now)
+                    continue
+                request = scheduler.select(queue, channel, now)
+                queue.remove(request)
+                buffer_used -= 1
+                completion = channel.dispatch(request, now)
+                scheduler.on_dispatch(request, now)
+                metrics.record(
+                    request.core,
+                    bool(request.row_hit),
+                    completion - request.arrival_ns,
+                )
+                if request.is_write:
+                    # Posted write: the core already moved on; account
+                    # the completion here without a core event.
+                    wstate = states[request.core]
+                    wstate.completed += 1
+                    if wstate.finished and wstate.finish_ns is None:
+                        wstate.finish_ns = now
+                        if all(states[i].finished for i in must_finish):
+                            break
+                else:
+                    push(completion, _COMPLETE, request.core)
+                wake_channel(ch, now)
+                while buffer_waiters and buffer_used < buffer_cap:
+                    waiter = buffer_waiters.pop(0)
+                    if states[waiter].blocked:
+                        push_gen(now, waiter)
+            else:  # _COMPLETE
+                state = states[payload]
+                state.inflight -= 1
+                state.completed += 1
+                if state.finished and state.finish_ns is None:
+                    state.finish_ns = now
+                    if all(states[i].finished for i in must_finish):
+                        break
+                if state.blocked and not state.done_issuing:
+                    state.blocked = False
+                    push_gen(now, state.index)
+
+        elapsed = now
+        results = tuple(
+            CoreResult(
+                index=s.index,
+                demand_gbps=s.config.demand_gbps,
+                issued=s.issued,
+                completed=s.completed,
+                finish_ns=s.finish_ns,
+                achieved_gbps=(
+                    s.completed * 64.0 / elapsed if elapsed > 0 else 0.0
+                ),
+            )
+            for s in states
+        )
+        return SimResult(
+            policy=self.policy_name,
+            elapsed_ns=elapsed,
+            cores=results,
+            row_hit_rate=metrics.row_hit_rate,
+            effective_bw_gbps=metrics.effective_bw_gbps(elapsed),
+            mean_latency_ns=metrics.mean_latency_ns,
+            p50_latency_ns=metrics.latency_percentile(50.0),
+            p99_latency_ns=metrics.latency_percentile(99.0),
+        )
+
+    # ------------------------------------------------------------------
+    def group_configs(
+        self,
+        group_demand_gbps: float,
+        n_cores: int,
+        requests_per_core: int,
+        mshr: int = 16,
+        index_offset: int = 0,
+    ) -> List[CoreConfig]:
+        """Split a group bandwidth demand evenly across cores."""
+        if n_cores <= 0:
+            raise SimulationError("n_cores must be positive")
+        per_core = group_demand_gbps / n_cores
+        banks = self.timing.banks_per_channel
+        return [
+            CoreConfig(
+                demand_gbps=per_core,
+                total_requests=requests_per_core,
+                mshr=mshr,
+                address_base=staggered_base(index_offset + i, banks),
+            )
+            for i in range(n_cores)
+        ]

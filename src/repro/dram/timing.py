@@ -1,0 +1,98 @@
+"""DRAM timing parameters (paper Table 1: DDR4-3200).
+
+All times are in nanoseconds. The simulator is transaction-level: a read
+occupies its bank for the activation/CAS window and the channel data bus
+for one burst; precharge+activate overhead is paid on row misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing and geometry of one DRAM configuration.
+
+    Attributes
+    ----------
+    tck_ns:
+        Clock period of the DRAM command clock.
+    t_burst_ns:
+        Data-bus occupancy of one 64-byte burst (BL8 on a 64-bit bus).
+    t_cas_ns:
+        Column access latency (CL).
+    t_rcd_ns:
+        Row-to-column delay (activation time).
+    t_rp_ns:
+        Precharge time.
+    t_ras_ns:
+        Minimum row-open time before precharge.
+    channels / banks_per_channel:
+        Geometry; total banks = channels * banks_per_channel.
+    row_bytes:
+        Row-buffer size per bank.
+    bus_bytes:
+        Data-bus width per channel in bytes.
+    t_refi_ns / t_rfc_ns:
+        Refresh interval and all-bank refresh duration. Every ``t_refi``
+        the channel stalls for ``t_rfc`` and all rows close — the ~4-5%
+        bandwidth tax real DRAM pays.
+    """
+
+    tck_ns: float = 0.625
+    t_burst_ns: float = 2.5  # 4 clocks, BL8 on a 64-bit DDR bus
+    t_cas_ns: float = 13.75
+    t_rcd_ns: float = 13.75
+    t_rp_ns: float = 13.75
+    t_ras_ns: float = 32.0
+    channels: int = 4
+    banks_per_channel: int = 8
+    row_bytes: int = 4096
+    bus_bytes: int = 8
+    request_buffer: int = 256
+    t_refi_ns: float = 7800.0
+    t_rfc_ns: float = 350.0
+    refresh_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "tck_ns",
+            "t_burst_ns",
+            "t_cas_ns",
+            "t_rcd_ns",
+            "t_rp_ns",
+            "t_ras_ns",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigurationError("geometry counts must be positive")
+        if self.row_bytes <= 0 or self.row_bytes % 64:
+            raise ConfigurationError("row_bytes must be a positive multiple of 64")
+        if self.request_buffer <= 0:
+            raise ConfigurationError("request_buffer must be positive")
+        if self.t_refi_ns <= 0 or self.t_rfc_ns <= 0:
+            raise ConfigurationError("refresh timings must be positive")
+        if self.t_rfc_ns >= self.t_refi_ns:
+            raise ConfigurationError("t_rfc must be shorter than t_refi")
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.banks_per_channel
+
+    @property
+    def peak_bw_gbps(self) -> float:
+        """Theoretical peak bandwidth: one burst per channel per t_burst."""
+        return self.channels * 64 / self.t_burst_ns  # bytes per ns == GB/s
+
+    @property
+    def row_miss_penalty_ns(self) -> float:
+        """Extra latency of a row conflict vs a row hit."""
+        return self.t_rp_ns + self.t_rcd_ns
+
+
+DDR4_3200 = DramTiming()
+"""The paper's Table 1 configuration: 4 channels, 102.4 GB/s peak."""

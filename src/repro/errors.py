@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A spec or configuration object is internally inconsistent."""
+
+
+class CalibrationError(ReproError):
+    """Model construction could not extract parameters from measurements."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an invalid internal state."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed or references an unknown kernel."""
+
+
+class PredictionError(ReproError):
+    """A slowdown model was asked for a prediction it cannot produce."""

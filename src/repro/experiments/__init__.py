@@ -1,0 +1,22 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a result dataclass
+with a ``render()`` method; the benchmark harness and the CLI print the
+rendered text, and EXPERIMENTS.md records paper-vs-measured values.
+
+| Module                   | Paper artifact                      |
+|--------------------------|-------------------------------------|
+| fig2                     | Fig. 2  (BW satisfaction vs pressure)|
+| fig3                     | Fig. 3  (three kernel classes)       |
+| fig5_table3              | Fig. 5 + Table 3 (MC policies)       |
+| fig6                     | Fig. 6  (model chart)                |
+| table5                   | Table 5 (linear parameter scaling)   |
+| table7                   | Table 7 (model parameters)           |
+| fig8_11                  | Figs. 8-11 (Rodinia validation)      |
+| fig12                    | Fig. 12 (DNNs on the DLA)            |
+| fig13                    | Fig. 13 (multi-phase CFD)            |
+| fig14                    | Fig. 14 + Table 8 (3-PU workloads)   |
+| table9_fig15             | Table 9 + Fig. 15 (frequency design) |
+| usecase_cores            | intro claim: area saved w/ fewer cores|
+| source_obliviousness     | Section 3.2 validation               |
+"""

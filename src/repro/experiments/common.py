@@ -1,0 +1,56 @@
+"""Shared experiment plumbing: cached engines and models per SoC."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.gables import GablesModel
+from repro.core.calibration import build_pccs_parameters
+from repro.core.model import PCCSModel
+from repro.core.parameters import PCCSParameters
+from repro.soc.configs import soc_by_name
+from repro.soc.engine import CoRunEngine
+
+_ENGINES: Dict[str, CoRunEngine] = {}
+_PARAMS: Dict[Tuple[str, str], PCCSParameters] = {}
+
+
+def engine_for(soc_name: str) -> CoRunEngine:
+    """A cached engine for a built-in SoC (standalone profiles persist)."""
+    engine = _ENGINES.get(soc_name)
+    if engine is None:
+        engine = CoRunEngine(soc_by_name(soc_name))
+        _ENGINES[soc_name] = engine
+    return engine
+
+
+def pccs_params_for(soc_name: str, pu_name: str) -> PCCSParameters:
+    """Cached, empirically-constructed PCCS parameters for one PU."""
+    key = (soc_name, pu_name)
+    params = _PARAMS.get(key)
+    if params is None:
+        params = build_pccs_parameters(engine_for(soc_name), pu_name)
+        _PARAMS[key] = params
+    return params
+
+
+def pccs_model_for(soc_name: str, pu_name: str) -> PCCSModel:
+    """Cached PCCS model for one PU of a built-in SoC."""
+    return PCCSModel(pccs_params_for(soc_name, pu_name))
+
+
+def gables_model_for(soc_name: str) -> GablesModel:
+    """Gables baseline for a built-in SoC."""
+    return GablesModel(engine_for(soc_name).soc.peak_bw)
+
+
+def all_pccs_models(soc_name: str) -> Dict[str, PCCSModel]:
+    """PCCS models for every PU of a built-in SoC."""
+    engine = engine_for(soc_name)
+    return {pu: pccs_model_for(soc_name, pu) for pu in engine.soc.pu_names}
+
+
+def clear_caches() -> None:
+    """Drop cached engines and parameters (tests use this)."""
+    _ENGINES.clear()
+    _PARAMS.clear()

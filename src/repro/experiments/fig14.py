@@ -1,0 +1,161 @@
+"""Fig. 14 + Table 8: three-PU real-program co-location workloads.
+
+Eleven workloads place one Rodinia benchmark on the CPU, one on the GPU
+and one ML model on the DLA (Table 8); each is measured until the first
+program finishes and compared against the PCCS and Gables predictions.
+The paper's headline: average errors PCCS 3.7/8.7/5.6% vs Gables
+13.4/30.3/20.6% on CPU/GPU/DLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.tables import TextTable, fmt
+from repro.baselines.gables import GablesModel
+from repro.experiments.common import (
+    all_pccs_models,
+    engine_for,
+    gables_model_for,
+)
+from repro.profiling.corun import WorkloadResult, average_errors, measure_workload
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_model
+from repro.workloads.kernel import KernelSpec
+from repro.workloads.rodinia import rodinia_kernel
+
+# Two-PU co-run workloads for platforms without a DLA (Snapdragon): the
+# same benchmark pairings minus the ML model column.
+SNAPDRAGON_WORKLOADS: Tuple[Tuple[str, str, str], ...] = (
+    ("A", "streamcluster", "pathfinder"),
+    ("B", "streamcluster", "srad"),
+    ("C", "pathfinder", "streamcluster"),
+    ("D", "pathfinder", "heartwall"),
+    ("E", "kmeans", "b+tree"),
+    ("F", "kmeans", "srad"),
+    ("G", "hotspot", "bfs"),
+    ("H", "srad", "pathfinder"),
+)
+
+# Table 8 of the paper: (CPU benchmark, GPU benchmark, DLA model).
+TABLE8: Tuple[Tuple[str, str, str, str], ...] = (
+    ("A", "streamcluster", "pathfinder", "resnet50"),
+    ("B", "streamcluster", "pathfinder", "vgg19"),
+    ("C", "streamcluster", "leukocyte", "alexnet"),
+    ("D", "streamcluster", "srad", "resnet50"),
+    ("E", "pathfinder", "streamcluster", "vgg19"),
+    ("F", "pathfinder", "heartwall", "alexnet"),
+    ("G", "kmeans", "b+tree", "resnet50"),
+    ("H", "kmeans", "srad", "vgg19"),
+    ("I", "hotspot", "bfs", "alexnet"),
+    ("J", "srad", "pathfinder", "resnet50"),
+    ("K", "srad", "leukocyte", "vgg19"),
+)
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """All workloads' actual and predicted speeds plus error summaries."""
+
+    soc_name: str
+    workloads: Tuple[WorkloadResult, ...]
+    pccs_errors: Dict[str, float]
+    gables_errors: Dict[str, float]
+
+    def workload(self, name: str) -> WorkloadResult:
+        for w in self.workloads:
+            if w.workload_name == name:
+                return w
+        raise KeyError(name)
+
+    def render(self) -> str:
+        blocks = []
+        for pu in self.pccs_errors:
+            table = TextTable(
+                ["workload", "kernel", "actual", "PCCS", "Gables"],
+                title=(
+                    f"Fig 14 — achieved relative speed (%) on "
+                    f"{self.soc_name} {pu}"
+                ),
+            )
+            for w in self.workloads:
+                r = w.for_pu(pu)
+                table.add_row(
+                    [
+                        w.workload_name,
+                        r.kernel_name,
+                        fmt(r.actual * 100),
+                        fmt(r.predicted["pccs"] * 100),
+                        fmt(r.predicted["gables"] * 100),
+                    ]
+                )
+            table.add_row(
+                [
+                    "avg err",
+                    "",
+                    "",
+                    fmt(self.pccs_errors[pu] * 100),
+                    fmt(self.gables_errors[pu] * 100),
+                ]
+            )
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+
+def table8_placements(
+    workloads: Sequence[Tuple[str, ...]] = TABLE8,
+) -> Dict[str, Mapping[str, KernelSpec]]:
+    """Build co-run placements from workload rows.
+
+    Rows are ``(name, cpu_bench, gpu_bench[, dla_model])``; the DLA
+    column is optional (Snapdragon has no DLA).
+    """
+    out = {}
+    for row in workloads:
+        name, cpu_bench, gpu_bench = row[0], row[1], row[2]
+        placement: Dict[str, KernelSpec] = {
+            "cpu": rodinia_kernel(cpu_bench, PUType.CPU),
+            "gpu": rodinia_kernel(gpu_bench, PUType.GPU),
+        }
+        if len(row) > 3:
+            placement["dla"] = dnn_model(row[3])
+        out[name] = placement
+    return out
+
+
+def run_fig14(
+    soc_name: str = "xavier-agx",
+    workloads: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> Fig14Result:
+    """Measure and predict all Table 8 workloads.
+
+    Defaults to the paper's 11 three-PU workloads on the Xavier; on a
+    platform without a DLA the two-PU pairings are used.
+    """
+    engine = engine_for(soc_name)
+    if workloads is None:
+        workloads = (
+            TABLE8
+            if "dla" in engine.soc.pu_names
+            else SNAPDRAGON_WORKLOADS
+        )
+    pccs_models = all_pccs_models(soc_name)
+    gables = gables_model_for(soc_name)
+    gables_models = {pu: gables for pu in engine.soc.pu_names}
+    model_sets = {"pccs": pccs_models, "gables": gables_models}
+
+    results = []
+    for name, placements in table8_placements(workloads).items():
+        results.append(
+            measure_workload(
+                engine, placements, model_sets, workload_name=name
+            )
+        )
+    results = tuple(results)
+    return Fig14Result(
+        soc_name=soc_name,
+        workloads=results,
+        pccs_errors=average_errors(results, "pccs"),
+        gables_errors=average_errors(results, "gables"),
+    )

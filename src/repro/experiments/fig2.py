@@ -1,0 +1,81 @@
+"""Fig. 2: fraction of requested bandwidth met under external pressure.
+
+Near-peak-demand kernels on the DLA (~30 GB/s), CPU (~93 GB/s) and GPU
+(~127 GB/s) of the Xavier are co-run against a synthetic external
+pressure sweep; the y-axis is achieved/requested bandwidth. The paper's
+point: contention effects appear well before requested + external demand
+reaches the DRAM peak (points A, B, C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.series import Series, render_series
+from repro.experiments.common import engine_for
+from repro.profiling.pressure import sweep_pressure
+from repro.workloads.roofline import max_demand_kernel, pressure_levels
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """BW-satisfaction series per PU, plus the A/B/C crossover points."""
+
+    soc_name: str
+    peak_bw: float
+    series: Tuple[Series, ...]
+    demands: Tuple[Tuple[str, float], ...]
+
+    def crossover_external_bw(self, pu_name: str) -> float:
+        """External demand where requested + external equals DRAM peak."""
+        for name, demand in self.demands:
+            if name == pu_name:
+                return max(self.peak_bw - demand, 0.0)
+        raise KeyError(pu_name)
+
+    def render(self) -> str:
+        header = (
+            f"Fig 2 — % of requested BW met on {self.soc_name} "
+            f"(peak {self.peak_bw:.1f} GB/s)\n"
+            + "requested: "
+            + ", ".join(f"{n}={d:.1f} GB/s" for n, d in self.demands)
+        )
+        marks = ", ".join(
+            f"{n}: ext={self.crossover_external_bw(n):.1f}"
+            for n, _ in self.demands
+        )
+        body = render_series(
+            list(self.series),
+            x_label="external BW (GB/s)",
+            y_label="requested BW met",
+        )
+        return f"{header}\n{body}\nrequested+external=peak at: {marks}"
+
+
+def run_fig2(
+    soc_name: str = "xavier-agx", steps: int = 10
+) -> Fig2Result:
+    """Reproduce Fig. 2 on the simulated platform."""
+    engine = engine_for(soc_name)
+    soc = engine.soc
+    levels = pressure_levels(soc.peak_bw, steps=steps)
+    series = []
+    demands = []
+    for pu_name in soc.pu_names:
+        kernel = max_demand_kernel()
+        sweep = sweep_pressure(engine, kernel, pu_name, external_levels=levels)
+        demands.append((pu_name, sweep.demand_bw))
+        series.append(
+            Series(
+                name=pu_name,
+                x=tuple(levels),
+                y=tuple(p.bw_satisfaction for p in sweep.points),
+            )
+        )
+    return Fig2Result(
+        soc_name=soc_name,
+        peak_bw=soc.peak_bw,
+        series=tuple(series),
+        demands=tuple(demands),
+    )

@@ -1,0 +1,85 @@
+"""Fig. 3: synthetic-kernel slowdown curves in three demand classes.
+
+Sweeps calibrators of low (a), medium (b) and high (c) bandwidth demand
+under rising external pressure and reports the achieved relative speed
+curves. The three qualitative behaviours — near-flat, flat/drop/flat,
+immediate-drop/flat — are the empirical basis of the three-region model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.series import Series, render_series
+from repro.experiments.common import engine_for
+from repro.profiling.pressure import sweep_pressure
+from repro.workloads.roofline import calibrator_for_bandwidth, pressure_levels
+
+PANELS: Dict[str, Tuple[float, ...]] = {
+    "a (low BW)": (10.0, 20.0, 30.0),
+    "b (medium BW)": (40.0, 50.0, 60.0, 70.0, 80.0),
+    "c (high BW)": (80.0, 90.0, 100.0),
+}
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Per-panel relative-speed curve families."""
+
+    soc_name: str
+    pu_name: str
+    panels: Tuple[Tuple[str, Tuple[Series, ...]], ...]
+
+    def panel(self, key: str) -> Tuple[Series, ...]:
+        for name, series in self.panels:
+            if name == key:
+                return series
+        raise KeyError(key)
+
+    def render(self) -> str:
+        blocks = [
+            f"Fig 3 — calibrator slowdown curves on {self.soc_name} "
+            f"{self.pu_name}"
+        ]
+        for name, series in self.panels:
+            blocks.append(
+                render_series(
+                    list(series),
+                    x_label="external BW (GB/s)",
+                    y_label="relative speed",
+                    title=f"panel {name}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig3(
+    soc_name: str = "xavier-agx",
+    pu_name: str = "gpu",
+    steps: int = 10,
+    panels: Dict[str, Sequence[float]] = None,
+) -> Fig3Result:
+    """Reproduce the Fig. 3 curve families on the simulated platform."""
+    engine = engine_for(soc_name)
+    levels = pressure_levels(engine.soc.peak_bw, steps=steps)
+    chosen = panels if panels is not None else PANELS
+    out = []
+    for panel_name, demands in chosen.items():
+        series = []
+        for target in demands:
+            kernel, demand = calibrator_for_bandwidth(engine, pu_name, target)
+            sweep = sweep_pressure(
+                engine, kernel, pu_name, external_levels=levels
+            )
+            series.append(
+                Series(
+                    name=f"{demand:.0f} GB/s",
+                    x=tuple(levels),
+                    y=sweep.relative_speeds,
+                )
+            )
+        out.append((panel_name, tuple(series)))
+    return Fig3Result(
+        soc_name=soc_name, pu_name=pu_name, panels=tuple(out)
+    )

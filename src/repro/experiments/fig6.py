@@ -1,0 +1,78 @@
+"""Fig. 6: the three-region model chart, drawn from a fitted model.
+
+Evaluates a constructed PCCS model at representative demands in each
+region across the external sweep, producing the unified chart of Fig. 6
+(minor flat line, normal flat/drop/flat, intensive drop/flat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.series import Series, render_series
+from repro.core.model import PCCSModel
+from repro.core.parameters import PCCSParameters, Region
+from repro.experiments.common import engine_for, pccs_model_for
+from repro.workloads.roofline import pressure_levels
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Model-predicted curves per region."""
+
+    soc_name: str
+    pu_name: str
+    params: PCCSParameters
+    series: Tuple[Series, ...]
+    regions: Tuple[Tuple[str, str], ...]
+
+    def render(self) -> str:
+        header = (
+            f"Fig 6 — three-region model chart for {self.soc_name} "
+            f"{self.pu_name}\n{self.params.summary()}"
+        )
+        body = render_series(
+            list(self.series),
+            x_label="external BW (GB/s)",
+            y_label="relative speed",
+        )
+        regions = ", ".join(f"{n}: {r}" for n, r in self.regions)
+        return f"{header}\n{body}\nregions: {regions}"
+
+
+def run_fig6(
+    soc_name: str = "xavier-agx", pu_name: str = "gpu", steps: int = 14
+) -> Fig6Result:
+    """Draw the model chart from the empirically constructed model."""
+    model = pccs_model_for(soc_name, pu_name)
+    params = model.params
+    engine = engine_for(soc_name)
+    levels = pressure_levels(engine.soc.peak_bw, steps=steps)
+
+    demands = []
+    if params.has_minor_region:
+        demands.append(params.normal_bw * 0.5)
+    demands.append((params.normal_bw + params.intensive_bw) / 2.0)
+    demands.append(params.intensive_bw * 1.2)
+
+    series = []
+    regions = []
+    for demand in demands:
+        region = params.region_of(demand)
+        name = f"x={demand:.0f} ({region.value})"
+        series.append(
+            Series(
+                name=name,
+                x=tuple(levels),
+                y=tuple(model.relative_speed(demand, y) for y in levels),
+            )
+        )
+        regions.append((f"{demand:.0f} GB/s", region.value))
+    return Fig6Result(
+        soc_name=soc_name,
+        pu_name=pu_name,
+        params=params,
+        series=tuple(series),
+        regions=tuple(regions),
+    )

@@ -1,0 +1,152 @@
+"""Run every experiment and print (or save) the rendered reports.
+
+Usage::
+
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner fig8 table7
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner --all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.experiments.config_tables import run_config_tables
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5_table3 import run_fig5_table3
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig8_11 import run_fig8, run_fig9, run_fig10, run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.source_obliviousness import run_source_obliviousness
+from repro.experiments.table5 import run_table5
+from repro.experiments.table7 import run_table7
+from repro.experiments.table9_fig15 import run_table9_fig15
+from repro.experiments.table10 import run_table10
+from repro.experiments.usecase_cores import run_usecase_cores
+from repro.experiments.work_split import run_work_split
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "config_tables": run_config_tables,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig5_table3": run_fig5_table3,
+    "fig6": run_fig6,
+    "table5": run_table5,
+    "table7": run_table7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "table9_fig15": run_table9_fig15,
+    "usecase_cores": run_usecase_cores,
+    "table10": run_table10,
+    "work_split": run_work_split,
+    "source_obliviousness": run_source_obliviousness,
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered report."""
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return runner().render()
+
+
+def collect_series(result) -> Dict[str, list]:
+    """Extract named figure series from an experiment result, if any.
+
+    Duck-typed over the result shapes used by the figure experiments:
+    ``.series`` (flat list), ``.panels`` / ``.curves`` (named groups of
+    series). Returns ``{csv_stem: [Series, ...]}``; empty for table-style
+    results.
+    """
+    out: Dict[str, list] = {}
+    series = getattr(result, "series", None)
+    if series:
+        out["main"] = list(series)
+    for attr in ("panels", "curves"):
+        groups = getattr(result, attr, None)
+        if groups:
+            for key, group in groups:
+                stem = str(key).replace(" ", "_").replace("/", "-")
+                out[stem] = list(group)
+    return out
+
+
+def save_result_csvs(name: str, result, out_dir: Path) -> int:
+    """Write one CSV per series group; returns the number written."""
+    from repro.analysis.series import to_csv
+
+    count = 0
+    for stem, series in collect_series(result).items():
+        path = out_dir / f"{name}_{stem}.csv"
+        path.write_text(to_csv(series) + "\n")
+        count += 1
+    return count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--out", help="directory to save reports into")
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="also save figure series as CSV files (needs --out)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.names
+    if not names:
+        parser.print_help()
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: "
+                f"{', '.join(sorted(EXPERIMENTS))}"
+            )
+        result = runner()
+        report = result.render()
+        elapsed = time.time() - start
+        banner = f"==== {name} ({elapsed:.1f}s) ===="
+        print(banner)
+        print(report)
+        print()
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(report + "\n")
+            if args.csv:
+                save_result_csvs(name, result, out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

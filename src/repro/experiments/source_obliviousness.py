@@ -1,0 +1,122 @@
+"""Section 3.2 validation: source-obliviousness of external interference.
+
+PCCS's processor-centric construction rests on the insight that a
+victim's slowdown depends on the *amount* of external traffic, not on
+which PUs generate it. This experiment fixes a victim kernel and a total
+external demand, generates that demand from different source mixes
+(single PU vs split across two PUs), and compares the victim's measured
+relative speeds. The paper validated this on the Xavier; small spreads
+justify calibrating against any single pressure source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.tables import TextTable, fmt
+from repro.experiments.common import engine_for
+from repro.workloads.roofline import calibrator_for_bandwidth
+
+
+@dataclass(frozen=True)
+class SourceMixPoint:
+    """Victim relative speed for one source mix at one total demand."""
+
+    total_external_bw: float
+    mix_name: str
+    relative_speed: float
+
+
+@dataclass(frozen=True)
+class SourceObliviousnessResult:
+    """Measured spreads across source mixes."""
+
+    soc_name: str
+    victim_pu: str
+    victim_demand: float
+    points: Tuple[SourceMixPoint, ...]
+
+    def spread_at(self, total: float) -> float:
+        speeds = [
+            p.relative_speed
+            for p in self.points
+            if p.total_external_bw == total
+        ]
+        return max(speeds) - min(speeds)
+
+    @property
+    def max_spread(self) -> float:
+        totals = {p.total_external_bw for p in self.points}
+        return max(self.spread_at(t) for t in totals)
+
+    def render(self) -> str:
+        table = TextTable(
+            ["total ext BW (GB/s)", "source mix", "relative speed (%)"],
+            title=(
+                f"Source-obliviousness on {self.soc_name}: victim on "
+                f"{self.victim_pu} (demand {self.victim_demand:.1f} GB/s)"
+            ),
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    fmt(p.total_external_bw),
+                    p.mix_name,
+                    fmt(p.relative_speed * 100),
+                ]
+            )
+        footer = (
+            f"max spread across mixes: {self.max_spread * 100:.1f} points "
+            "(small spread validates processor-centric calibration)"
+        )
+        return table.render() + "\n" + footer
+
+
+def run_source_obliviousness(
+    soc_name: str = "xavier-agx",
+    victim_pu: str = "gpu",
+    victim_demand: float = 50.0,
+    totals: Sequence[float] = (30.0, 50.0, 70.0),
+) -> SourceObliviousnessResult:
+    """Compare single-source vs split-source external pressure."""
+    engine = engine_for(soc_name)
+    soc = engine.soc
+    sources = [n for n in soc.pu_names if n != victim_pu]
+    victim, demand = calibrator_for_bandwidth(engine, victim_pu, victim_demand)
+
+    points = []
+    for total in totals:
+        mixes: Dict[str, Dict[str, float]] = {
+            sources[0]: {sources[0]: total}
+        }
+        if len(sources) >= 2:
+            mixes[f"{sources[0]}+{sources[1]} 50/50"] = {
+                sources[0]: total / 2,
+                sources[1]: total / 2,
+            }
+            mixes[sources[1]] = {sources[1]: total}
+        for mix_name, allocation in mixes.items():
+            pressure = {}
+            feasible = True
+            for src, level in allocation.items():
+                kernel, actual = calibrator_for_bandwidth(engine, src, level)
+                if actual < level * 0.85:
+                    feasible = False  # source cannot generate this much
+                pressure[src] = kernel
+            if not feasible:
+                continue
+            rs = engine.relative_speed(victim_pu, victim, pressure)
+            points.append(
+                SourceMixPoint(
+                    total_external_bw=total,
+                    mix_name=mix_name,
+                    relative_speed=rs,
+                )
+            )
+    return SourceObliviousnessResult(
+        soc_name=soc_name,
+        victim_pu=victim_pu,
+        victim_demand=demand,
+        points=tuple(points),
+    )

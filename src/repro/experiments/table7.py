@@ -1,0 +1,77 @@
+"""Table 7: constructed PCCS model parameters per PU per SoC.
+
+The absolute values belong to *this* simulated machine; the paper-shape
+properties to check are qualitative: DLA has (almost) no minor region and
+the shallowest intensive rate; the DLA's contention balance point exceeds
+the GPU's; Snapdragon parameters are scaled-down versions of Xavier's in
+proportion to its much smaller memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.tables import TextTable, fmt
+from repro.core.parameters import PCCSParameters
+from repro.experiments.common import engine_for, pccs_params_for
+
+PLATFORMS: Tuple[str, ...] = ("xavier-agx", "snapdragon-855")
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    """Parameters per (SoC, PU)."""
+
+    entries: Tuple[Tuple[str, str, PCCSParameters], ...]
+
+    def params(self, soc_name: str, pu_name: str) -> PCCSParameters:
+        for soc, pu, p in self.entries:
+            if soc == soc_name and pu == pu_name:
+                return p
+        raise KeyError((soc_name, pu_name))
+
+    def render(self) -> str:
+        table = TextTable(
+            [
+                "SoC",
+                "PU",
+                "Normal BW",
+                "Intensive BW",
+                "MRMC (%)",
+                "CBP",
+                "TBWDC",
+                "rateN %/(GB/s)",
+                "rateI %/(GB/s)",
+            ],
+            title="Table 7 — constructed PCCS model parameters (GB/s)",
+        )
+        for soc, pu, p in self.entries:
+            reduction = p.max_minor_reduction
+            mrmc = "NA" if reduction is None else fmt(reduction * 100)
+            table.add_row(
+                [
+                    soc,
+                    pu,
+                    fmt(p.normal_bw),
+                    fmt(p.intensive_bw),
+                    mrmc,
+                    fmt(p.cbp),
+                    fmt(p.tbwdc),
+                    fmt(p.rate_n * 100, 2),
+                    fmt(p.representative_rate_i * 100, 2),
+                ]
+            )
+        return table.render()
+
+
+def run_table7(platforms: Tuple[str, ...] = PLATFORMS) -> Table7Result:
+    """Construct every PU's parameters on every platform."""
+    entries = []
+    for soc_name in platforms:
+        engine = engine_for(soc_name)
+        for pu_name in engine.soc.pu_names:
+            entries.append(
+                (soc_name, pu_name, pccs_params_for(soc_name, pu_name))
+            )
+    return Table7Result(entries=tuple(entries))

@@ -1,0 +1,143 @@
+"""Use-case: core-count (area) exploration.
+
+The paper's intro claims its accuracy "help[s] avoid over-provisioning
+PUs ..., saving up to 50% area (with reduced cores) ... over the
+suggested configurations by prior models, while maintaining the same
+level of actual co-running workload performance". This experiment mirrors
+the Table 9 methodology with GPU SM count instead of clock frequency:
+find the fewest cores keeping a memory-bound kernel's co-run performance
+within budget, by ground truth, PCCS and Gables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.tables import TextTable, fmt
+from repro.core.explorer import CoreCountExplorer
+from repro.experiments.common import (
+    engine_for,
+    gables_model_for,
+    pccs_model_for,
+)
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+DEFAULT_CORES: Tuple[int, ...] = (128, 192, 256, 320, 384, 448, 512)
+DEFAULT_PRESSURES: Tuple[float, ...] = (20.0, 40.0, 60.0)
+
+
+@dataclass(frozen=True)
+class CoreSelectionCell:
+    """One external-pressure operating point."""
+
+    external_bw: float
+    truth_cores: int
+    pccs_cores: int
+    gables_cores: int
+
+    def area_saving(self, full_cores: int, pick: str = "pccs") -> float:
+        chosen = {"truth": self.truth_cores, "pccs": self.pccs_cores,
+                  "gables": self.gables_cores}[pick]
+        return 1.0 - chosen / full_cores
+
+
+@dataclass(frozen=True)
+class CoreUseCaseResult:
+    """Core-count selections and area savings."""
+
+    soc_name: str
+    pu_name: str
+    kernel_name: str
+    budget: float
+    full_cores: int
+    cells: Tuple[CoreSelectionCell, ...]
+
+    def cell(self, external_bw: float) -> CoreSelectionCell:
+        for c in self.cells:
+            if c.external_bw == external_bw:
+                return c
+        raise KeyError(external_bw)
+
+    @property
+    def max_area_saving_vs_gables(self) -> float:
+        """Area PCCS saves relative to what Gables would provision."""
+        savings = [
+            (c.gables_cores - c.pccs_cores) / self.full_cores
+            for c in self.cells
+        ]
+        return max(savings)
+
+    def render(self) -> str:
+        table = TextTable(
+            [
+                "ext BW",
+                "truth cores",
+                "PCCS cores",
+                "Gables cores",
+                "PCCS area saved (%)",
+            ],
+            title=(
+                f"Use case — {self.pu_name} core count for "
+                f"{self.kernel_name} on {self.soc_name} "
+                f"(budget {self.budget * 100:.0f}%, full {self.full_cores})"
+            ),
+        )
+        for c in self.cells:
+            table.add_row(
+                [
+                    fmt(c.external_bw, 0),
+                    c.truth_cores,
+                    c.pccs_cores,
+                    c.gables_cores,
+                    fmt(c.area_saving(self.full_cores) * 100),
+                ]
+            )
+        footer = (
+            "max extra area saved vs the Gables pick: "
+            f"{self.max_area_saving_vs_gables * 100:.1f}% of the full PU "
+            "(paper claims up to 50%)"
+        )
+        return table.render() + "\n" + footer
+
+
+def run_usecase_cores(
+    soc_name: str = "xavier-agx",
+    pu_name: str = "gpu",
+    core_counts: Sequence[int] = DEFAULT_CORES,
+    pressures: Sequence[float] = DEFAULT_PRESSURES,
+    budget: float = 0.05,
+) -> CoreUseCaseResult:
+    """Run the core-count exploration."""
+    engine = engine_for(soc_name)
+    pccs = pccs_model_for(soc_name, pu_name)
+    gables = gables_model_for(soc_name)
+    pu_type = PUType.CPU if pu_name == "cpu" else PUType.GPU
+    explorer = CoreCountExplorer(
+        engine.soc,
+        pu_name,
+        kernel_factory=lambda: rodinia_kernel("streamcluster", pu_type),
+    )
+    values = [float(c) for c in core_counts]
+    cells = []
+    for ext in pressures:
+        truth = explorer.explore(values, ext, budget)
+        with_pccs = explorer.explore(values, ext, budget, pccs)
+        with_gables = explorer.explore(values, ext, budget, gables)
+        cells.append(
+            CoreSelectionCell(
+                external_bw=ext,
+                truth_cores=int(truth.selected),
+                pccs_cores=int(with_pccs.selected),
+                gables_cores=int(with_gables.selected),
+            )
+        )
+    return CoreUseCaseResult(
+        soc_name=soc_name,
+        pu_name=pu_name,
+        kernel_name="streamcluster",
+        budget=budget,
+        full_cores=engine.soc.pu(pu_name).cores,
+        cells=tuple(cells),
+    )

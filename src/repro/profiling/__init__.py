@@ -1,0 +1,18 @@
+"""Measurement harnesses: standalone profiling, pressure sweeps, co-runs.
+
+These play the role of the paper's NVprof/perf profiling and physical
+co-location experiments, driving the simulated machine instead.
+"""
+
+from repro.profiling.standalone import StandaloneReport, profile_standalone
+from repro.profiling.pressure import PressureSweep, sweep_pressure
+from repro.profiling.corun import WorkloadResult, measure_workload
+
+__all__ = [
+    "StandaloneReport",
+    "profile_standalone",
+    "PressureSweep",
+    "sweep_pressure",
+    "WorkloadResult",
+    "measure_workload",
+]

@@ -1,0 +1,101 @@
+"""External-pressure sweeps: measuring a victim under rising contention.
+
+This is the measurement pattern behind the paper's Figures 2, 3, 8-12:
+one kernel of interest on a target PU, synthetic pressure of increasing
+demanded bandwidth generated on another PU, relative speed recorded per
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import KernelSpec
+from repro.workloads.roofline import calibrator_for_bandwidth, pressure_levels
+
+
+@dataclass(frozen=True)
+class PressurePoint:
+    """One (external demand, measured outcome) sample."""
+
+    external_bw: float
+    external_achieved_bw: float
+    relative_speed: float
+    bw_satisfaction: float
+
+
+@dataclass(frozen=True)
+class PressureSweep:
+    """A victim kernel's full external-pressure sweep."""
+
+    kernel_name: str
+    pu_name: str
+    pressure_pu: str
+    demand_bw: float
+    points: Tuple[PressurePoint, ...]
+
+    @property
+    def external_bws(self) -> Tuple[float, ...]:
+        return tuple(p.external_bw for p in self.points)
+
+    @property
+    def relative_speeds(self) -> Tuple[float, ...]:
+        return tuple(p.relative_speed for p in self.points)
+
+    @property
+    def final_relative_speed(self) -> float:
+        return self.points[-1].relative_speed
+
+
+def default_pressure_pu(engine: CoRunEngine, target_pu: str) -> str:
+    """The paper's convention: GPU pressures the CPU; CPU pressures others."""
+    others = [n for n in engine.soc.pu_names if n != target_pu]
+    if not others:
+        raise SimulationError("no PU available to generate pressure")
+    if target_pu != "cpu" and "cpu" in others:
+        return "cpu"
+    if "gpu" in others:
+        return "gpu"
+    return others[0]
+
+
+def sweep_pressure(
+    engine: CoRunEngine,
+    kernel: KernelSpec,
+    pu_name: str,
+    external_levels: Optional[Sequence[float]] = None,
+    pressure_pu: Optional[str] = None,
+) -> PressureSweep:
+    """Measure a kernel's relative speed across external demand levels."""
+    if external_levels is None:
+        external_levels = pressure_levels(engine.soc.peak_bw)
+    source = pressure_pu or default_pressure_pu(engine, pu_name)
+    demand = engine.standalone_demand(kernel, pu_name)
+    points = []
+    for level in external_levels:
+        generator, _ = calibrator_for_bandwidth(engine, source, level)
+        result = engine.corun(
+            {pu_name: kernel, source: generator},
+            looping={source},
+            until="first",
+        )
+        victim = result.outcome(pu_name)
+        aggressor = result.outcome(source)
+        points.append(
+            PressurePoint(
+                external_bw=level,
+                external_achieved_bw=aggressor.avg_achieved_bw,
+                relative_speed=victim.relative_speed,
+                bw_satisfaction=victim.bw_satisfaction,
+            )
+        )
+    return PressureSweep(
+        kernel_name=kernel.name,
+        pu_name=pu_name,
+        pressure_pu=source,
+        demand_bw=demand,
+        points=tuple(points),
+    )

@@ -1,0 +1,78 @@
+"""Standalone profiling: the "NVprof / perf / Valgrind" stand-in.
+
+PCCS needs only standalone measurements of each kernel (Section 4.1:
+"Bandwidth characterization: ... we need only the standalone BW rates").
+This module renders those measurements in a report form convenient for
+experiments and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.core.parameters import Region
+from repro.core.parameters import PCCSParameters
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Standalone measurements of one phase."""
+
+    name: str
+    demand_bw: float
+    seconds: float
+    time_fraction: float
+
+
+@dataclass(frozen=True)
+class StandaloneReport:
+    """Standalone measurements of one kernel on one PU."""
+
+    kernel_name: str
+    pu_name: str
+    seconds: float
+    avg_demand_bw: float
+    phases: Tuple[PhaseReport, ...]
+
+    def region(self, params: PCCSParameters) -> Region:
+        """The kernel's contention region under the given PU model."""
+        return params.region_of(self.avg_demand_bw)
+
+
+def profile_standalone(
+    engine: CoRunEngine, kernel: KernelSpec, pu_name: str
+) -> StandaloneReport:
+    """Measure a kernel's standalone time and bandwidth demand."""
+    profile = engine.profile(kernel, pu_name)
+    total = profile.total_seconds
+    phases = tuple(
+        PhaseReport(
+            name=p.name,
+            demand_bw=p.demand,
+            seconds=p.seconds,
+            time_fraction=p.seconds / total,
+        )
+        for p in profile.phases
+    )
+    return StandaloneReport(
+        kernel_name=kernel.name,
+        pu_name=pu_name,
+        seconds=total,
+        avg_demand_bw=profile.avg_demand,
+        phases=phases,
+    )
+
+
+def profile_suite(
+    engine: CoRunEngine,
+    kernels: Mapping[str, KernelSpec],
+    pu_name: str,
+) -> Mapping[str, StandaloneReport]:
+    """Standalone reports for a whole suite on one PU."""
+    return {
+        name: profile_standalone(engine, kernel, pu_name)
+        for name, kernel in kernels.items()
+    }

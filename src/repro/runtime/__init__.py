@@ -1,0 +1,11 @@
+"""Post-silicon runtime uses of PCCS models.
+
+The related-work models (Bubble-Up, GDP, ASM, ...) target *runtime*
+decisions; PCCS targets design time but — once the silicon exists and is
+calibrated — the same model drives runtime policies. This package
+provides a QoS frequency governor built on PCCS predictions.
+"""
+
+from repro.runtime.governor import GovernorDecision, QoSGovernor
+
+__all__ = ["QoSGovernor", "GovernorDecision"]

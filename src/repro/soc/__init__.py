@@ -1,0 +1,30 @@
+"""Heterogeneous SoC co-run simulator.
+
+This package is the stand-in for the paper's physical test platforms
+(NVIDIA Jetson AGX Xavier, Qualcomm Snapdragon 855). It simulates multiple
+processing units (PUs) sharing one memory system whose controller applies
+row-hit prioritization and fairness control — the two mechanisms Section
+2.3 of the paper identifies as the cause of the observed three-region
+co-run slowdown curves.
+"""
+
+from repro.soc.spec import MCBehavior, MemorySpec, PUSpec, PUType, SoCSpec
+from repro.soc.memsys import SharedMemorySystem, StreamDemand, StreamGrant
+from repro.soc.engine import CoRunEngine, CoRunResult, StandaloneProfile
+from repro.soc.configs import snapdragon_855, xavier_agx
+
+__all__ = [
+    "MCBehavior",
+    "MemorySpec",
+    "PUSpec",
+    "PUType",
+    "SoCSpec",
+    "SharedMemorySystem",
+    "StreamDemand",
+    "StreamGrant",
+    "CoRunEngine",
+    "CoRunResult",
+    "StandaloneProfile",
+    "xavier_agx",
+    "snapdragon_855",
+]

@@ -1,0 +1,135 @@
+"""Convenience builders for user-defined SoC designs.
+
+The paper's workflow (Fig. 1) starts from "a set of PUs as well as some
+existing SoCs" and explores *new* designs. The built-in Xavier and
+Snapdragon configurations carry hand-tuned behavioural constants; this
+module lets a user assemble a hypothetical SoC from architectural
+numbers only — core counts, clocks, bandwidths — with per-PU-type
+behavioural defaults derived from the calibrated platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.soc.spec import MCBehavior, MemorySpec, PUSpec, PUType, SoCSpec
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class _TypeDefaults:
+    """Behavioural defaults per PU archetype (from the tuned platforms)."""
+
+    flops_per_cycle_per_core: float
+    saturation_latency_ns: float
+    latency_sensitivity: float
+    overlap: float
+    latency_exposure: float
+    arbitration_weight: float
+
+
+_DEFAULTS = {
+    PUType.CPU: _TypeDefaults(
+        flops_per_cycle_per_core=8.0,
+        saturation_latency_ns=270.0,
+        latency_sensitivity=0.5,
+        overlap=0.85,
+        latency_exposure=0.0003,
+        arbitration_weight=1.0,
+    ),
+    PUType.GPU: _TypeDefaults(
+        flops_per_cycle_per_core=2.0,
+        saturation_latency_ns=690.0,
+        latency_sensitivity=0.5,
+        overlap=0.95,
+        latency_exposure=0.001,
+        arbitration_weight=1.25,
+    ),
+    PUType.DLA: _TypeDefaults(
+        flops_per_cycle_per_core=2.0,
+        saturation_latency_ns=100.0,
+        latency_sensitivity=0.22,
+        overlap=0.6,
+        latency_exposure=0.0,
+        arbitration_weight=1.0,
+    ),
+}
+
+
+def custom_pu(
+    name: str,
+    pu_type: PUType,
+    cores: int,
+    frequency_mhz: float,
+    max_bw: float,
+    flops_per_cycle_per_core: Optional[float] = None,
+    **overrides,
+) -> PUSpec:
+    """Build a PU from architectural numbers with archetype defaults.
+
+    Memory-level parallelism is derived from the archetype's saturation
+    latency: ``mlp_lines = L_sat * max_bw / 64B`` — i.e. the PU sustains
+    its front-end bandwidth up to the archetype's typical loaded latency.
+    Any :class:`~repro.soc.spec.PUSpec` field can be overridden.
+    """
+    defaults = _DEFAULTS.get(pu_type)
+    if defaults is None:
+        raise ConfigurationError(f"no defaults for PU type {pu_type!r}")
+    mlp_lines = overrides.pop(
+        "mlp_lines",
+        defaults.saturation_latency_ns * max_bw / CACHELINE_BYTES,
+    )
+    return PUSpec(
+        name=name,
+        pu_type=pu_type,
+        cores=cores,
+        frequency_mhz=frequency_mhz,
+        flops_per_cycle_per_core=(
+            flops_per_cycle_per_core
+            if flops_per_cycle_per_core is not None
+            else defaults.flops_per_cycle_per_core
+        ),
+        max_bw=max_bw,
+        mlp_lines=mlp_lines,
+        latency_sensitivity=overrides.pop(
+            "latency_sensitivity", defaults.latency_sensitivity
+        ),
+        overlap=overrides.pop("overlap", defaults.overlap),
+        latency_exposure=overrides.pop(
+            "latency_exposure", defaults.latency_exposure
+        ),
+        arbitration_weight=overrides.pop(
+            "arbitration_weight", defaults.arbitration_weight
+        ),
+        **overrides,
+    )
+
+
+def custom_soc(
+    name: str,
+    pus: Sequence[PUSpec],
+    memory_channels: int,
+    memory_bus_bits: int = 32,
+    memory_frequency_mhz: float = 2133.0,
+    technology: str = "LPDDR5",
+    mc: Optional[MCBehavior] = None,
+) -> SoCSpec:
+    """Assemble a hypothetical SoC design.
+
+    The memory-controller personality defaults to the calibrated
+    fairness-controlled behaviour shared by the built-in platforms.
+    """
+    memory = MemorySpec(
+        channels=memory_channels,
+        bus_bits_per_channel=memory_bus_bits,
+        io_frequency_mhz=memory_frequency_mhz,
+        technology=technology,
+    )
+    return SoCSpec(
+        name=name,
+        pus=tuple(pus),
+        memory=memory,
+        mc=mc if mc is not None else MCBehavior(),
+    )

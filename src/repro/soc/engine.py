@@ -1,0 +1,319 @@
+"""Co-run simulation engine.
+
+:class:`CoRunEngine` places kernels on PUs of an SoC and simulates their
+concurrent execution against the shared memory system. Time advances in
+exact event steps (to the next phase/kernel completion at current rates),
+re-resolving the memory steady state whenever the set of active phases
+changes. This is the "ground truth machine" every model in the library is
+validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.soc.memsys import SharedMemorySystem
+from repro.soc.pu import (
+    StandaloneProfile,
+    profile_kernel,
+    stream_for_phase,
+)
+from repro.soc.spec import SoCSpec
+from repro.workloads.kernel import KernelSpec
+
+_MIN_RATE = 1e-12
+
+
+@dataclass
+class _StreamState:
+    """Mutable progress of one placed kernel during co-run simulation."""
+
+    pu_name: str
+    profile: StandaloneProfile
+    looping: bool
+    phase_index: int = 0
+    bytes_left: float = 0.0
+    bytes_done: float = 0.0
+    loops_done: int = 0
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.bytes_left = self.profile.phases[0].traffic_bytes
+
+    @property
+    def current_phase(self):
+        return self.profile.phases[self.phase_index]
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    def standalone_seconds_done(self) -> float:
+        """Standalone time equivalent of the work completed so far."""
+        done = self.loops_done * self.profile.total_seconds
+        for i, phase in enumerate(self.profile.phases):
+            if i < self.phase_index:
+                done += phase.seconds
+        phase = self.current_phase
+        fraction = 1.0 - self.bytes_left / phase.traffic_bytes
+        return done + fraction * phase.seconds
+
+    def advance(self, n_bytes: float, now: float) -> None:
+        """Consume ``n_bytes`` of the current phase, rolling phases over."""
+        self.bytes_left -= n_bytes
+        self.bytes_done += n_bytes
+        if self.bytes_left > 1e-3:
+            return
+        self.phase_index += 1
+        if self.phase_index < len(self.profile.phases):
+            self.bytes_left = self.current_phase.traffic_bytes
+            return
+        if self.looping:
+            self.loops_done += 1
+            self.phase_index = 0
+            self.bytes_left = self.current_phase.traffic_bytes
+        else:
+            if self.finished_at is None:
+                self.finished_at = now
+            self.phase_index = len(self.profile.phases) - 1
+            self.bytes_left = 0.0
+
+
+@dataclass(frozen=True)
+class PUOutcome:
+    """Per-PU outcome of a co-run simulation."""
+
+    pu_name: str
+    kernel_name: str
+    finished: bool
+    elapsed: float
+    standalone_seconds: float
+    standalone_seconds_done: float
+    avg_achieved_bw: float
+    avg_demand: float
+
+    @property
+    def relative_speed(self) -> float:
+        """Achieved fraction of standalone speed (the paper's RS)."""
+        if self.elapsed <= 0:
+            return 1.0
+        return min(self.standalone_seconds_done / self.elapsed, 1.0)
+
+    @property
+    def bw_satisfaction(self) -> float:
+        """Achieved over demanded bandwidth (Fig. 2's y-axis)."""
+        if self.avg_demand <= 0:
+            return 1.0
+        return min(self.avg_achieved_bw / self.avg_demand, 1.0)
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """Per-PU granted bandwidth at one simulation step."""
+
+    time: float
+    granted: Tuple[Tuple[str, float], ...]
+
+    def bw(self, pu_name: str) -> float:
+        for name, value in self.granted:
+            if name == pu_name:
+                return value
+        raise SimulationError(f"no timeline entry for PU {pu_name!r}")
+
+
+@dataclass(frozen=True)
+class CoRunResult:
+    """Outcome of one co-run simulation across all placed PUs."""
+
+    soc_name: str
+    outcomes: Tuple[PUOutcome, ...]
+    elapsed: float
+    timeline: Tuple[TimelineSample, ...] = ()
+
+    def outcome(self, pu_name: str) -> PUOutcome:
+        for o in self.outcomes:
+            if o.pu_name == pu_name:
+                return o
+        raise SimulationError(f"no outcome for PU {pu_name!r}")
+
+    def relative_speed(self, pu_name: str) -> float:
+        return self.outcome(pu_name).relative_speed
+
+
+class CoRunEngine:
+    """Simulates standalone and co-located kernel executions on an SoC.
+
+    Parameters
+    ----------
+    soc:
+        The SoC specification.
+    memory_system:
+        Optional override of the shared memory model — e.g. a
+        :class:`repro.soc.multimc.PartitionedMemorySystem` for multi-MC
+        designs. Defaults to the single-controller model.
+    """
+
+    def __init__(self, soc: SoCSpec, memory_system=None):
+        self.soc = soc
+        self.memory = (
+            memory_system
+            if memory_system is not None
+            else SharedMemorySystem(soc.peak_bw, soc.mc)
+        )
+        self._profiles: Dict[Tuple[str, KernelSpec], StandaloneProfile] = {}
+
+    # ------------------------------------------------------------------
+    # Standalone
+    # ------------------------------------------------------------------
+    def profile(self, kernel: KernelSpec, pu_name: str) -> StandaloneProfile:
+        """Standalone profile of ``kernel`` on the named PU (cached)."""
+        key = (pu_name, kernel)
+        profile = self._profiles.get(key)
+        if profile is None:
+            pu = self.soc.pu(pu_name)
+            profile = profile_kernel(pu, kernel, self.memory)
+            self._profiles[key] = profile
+        return profile
+
+    def standalone_seconds(self, kernel: KernelSpec, pu_name: str) -> float:
+        return self.profile(kernel, pu_name).total_seconds
+
+    def standalone_demand(self, kernel: KernelSpec, pu_name: str) -> float:
+        """Time-averaged standalone BW demand (GB/s), the PCCS input."""
+        return self.profile(kernel, pu_name).avg_demand
+
+    # ------------------------------------------------------------------
+    # Co-run
+    # ------------------------------------------------------------------
+    def corun(
+        self,
+        placements: Mapping[str, KernelSpec],
+        looping: Iterable[str] = (),
+        until: str = "first",
+        max_seconds: float = 3600.0,
+        record_timeline: bool = False,
+    ) -> CoRunResult:
+        """Simulate kernels co-running on their assigned PUs.
+
+        Parameters
+        ----------
+        placements:
+            Map from PU name to the kernel it runs.
+        looping:
+            PUs whose kernels restart when finished (external pressure
+            generators). Looping PUs never terminate the simulation.
+        until:
+            ``"first"`` stops when the first non-looping kernel finishes
+            (the paper's Section 4.2 methodology); ``"all"`` runs until
+            every non-looping kernel finishes.
+        max_seconds:
+            Simulated-time guard against degenerate configurations.
+        record_timeline:
+            Record per-step granted bandwidths (phase dynamics for
+            multi-phase programs); available as ``result.timeline``.
+
+        Returns
+        -------
+        CoRunResult
+            Per-PU relative speeds and achieved bandwidths.
+        """
+        if not placements:
+            raise SimulationError("placements must not be empty")
+        if until not in ("first", "all"):
+            raise SimulationError(f"unknown until mode {until!r}")
+        loop_set = set(looping)
+        unknown = loop_set - set(placements)
+        if unknown:
+            raise SimulationError(f"looping PUs not placed: {sorted(unknown)}")
+        victims = [name for name in placements if name not in loop_set]
+        if not victims:
+            raise SimulationError("at least one non-looping kernel required")
+
+        states = {
+            name: _StreamState(
+                pu_name=name,
+                profile=self.profile(kernel, name),
+                looping=name in loop_set,
+            )
+            for name, kernel in placements.items()
+        }
+        order = list(placements)
+        now = 0.0
+        timeline = []
+        while now < max_seconds:
+            active = [
+                n for n in order if not states[n].finished
+            ]
+            runnable = [n for n in active if states[n].bytes_left > 0]
+            if not runnable:
+                break
+            streams = [
+                stream_for_phase(
+                    self.soc.pu(n), states[n].current_phase
+                )
+                for n in runnable
+            ]
+            grants = self.memory.resolve(streams)
+            rates = {
+                n: max(g.granted, _MIN_RATE) for n, g in zip(runnable, grants)
+            }
+            if record_timeline:
+                timeline.append(
+                    TimelineSample(
+                        time=now,
+                        granted=tuple(sorted(rates.items())),
+                    )
+                )
+            dt = min(
+                states[n].bytes_left / 1e9 / rates[n] for n in runnable
+            )
+            dt = min(dt, max_seconds - now)
+            now += dt
+            for n in runnable:
+                states[n].advance(rates[n] * 1e9 * dt, now)
+            done_victims = [v for v in victims if states[v].finished]
+            if until == "first" and done_victims:
+                break
+            if until == "all" and len(done_victims) == len(victims):
+                break
+
+        outcomes = []
+        for name in order:
+            state = states[name]
+            elapsed = state.finished_at if state.finished else now
+            elapsed = elapsed if elapsed and elapsed > 0 else now
+            achieved = state.bytes_done / 1e9 / elapsed if elapsed > 0 else 0.0
+            outcomes.append(
+                PUOutcome(
+                    pu_name=name,
+                    kernel_name=state.profile.kernel_name,
+                    finished=state.finished,
+                    elapsed=elapsed,
+                    standalone_seconds=state.profile.total_seconds,
+                    standalone_seconds_done=state.standalone_seconds_done(),
+                    avg_achieved_bw=achieved,
+                    avg_demand=state.profile.avg_demand,
+                )
+            )
+        return CoRunResult(
+            soc_name=self.soc.name,
+            outcomes=tuple(outcomes),
+            elapsed=now,
+            timeline=tuple(timeline),
+        )
+
+    def relative_speed(
+        self,
+        victim_pu: str,
+        victim_kernel: KernelSpec,
+        pressure: Mapping[str, KernelSpec],
+    ) -> float:
+        """Relative speed of a victim kernel under looping pressure."""
+        placements = dict(pressure)
+        placements[victim_pu] = victim_kernel
+        result = self.corun(
+            placements, looping=set(pressure), until="first"
+        )
+        return result.relative_speed(victim_pu)

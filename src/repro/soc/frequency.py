@@ -1,0 +1,79 @@
+"""DVFS scaling of PU and memory specifications.
+
+PU frequency scaling changes only the arithmetic peak (the load/store
+path to DRAM is clocked independently on the studied SoCs, so ``max_bw``
+stays fixed). This reproduces the paper's Section 4.3 observation that a
+memory-bound kernel's standalone performance — and hence its bandwidth
+demand — is unchanged until the clock drops below the roofline crossover
+(about 900 MHz for streamcluster on the Xavier GPU).
+
+Memory frequency scaling changes the theoretical peak proportionally
+(Section 3.3), leaving the DRAM-core latency behaviour unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.soc.spec import PUSpec, SoCSpec
+
+
+def scale_pu_frequency(pu: PUSpec, frequency_mhz: float) -> PUSpec:
+    """The PU re-clocked to ``frequency_mhz``."""
+    if frequency_mhz <= 0:
+        raise ConfigurationError(
+            f"frequency must be positive, got {frequency_mhz}"
+        )
+    return replace(pu, frequency_mhz=frequency_mhz)
+
+
+def soc_with_pu_frequency(
+    soc: SoCSpec, pu_name: str, frequency_mhz: float
+) -> SoCSpec:
+    """A copy of ``soc`` with one PU re-clocked."""
+    return soc.with_pu(scale_pu_frequency(soc.pu(pu_name), frequency_mhz))
+
+
+def scale_pu_cores(pu: PUSpec, cores: int) -> PUSpec:
+    """The PU with a different core count (area exploration).
+
+    Arithmetic peak scales linearly with cores. The front-end bandwidth
+    path is shared (``max_bw`` unchanged), while sustained memory-level
+    parallelism grows sub-linearly with cores (each core contributes
+    MSHRs, but queues serialize at the shared interface): mlp scales with
+    the square root of the core ratio.
+    """
+    if cores <= 0:
+        raise ConfigurationError(f"cores must be positive, got {cores}")
+    ratio = cores / pu.cores
+    return replace(
+        pu,
+        cores=cores,
+        mlp_lines=pu.mlp_lines * ratio**0.5,
+    )
+
+
+def soc_with_pu_cores(soc: SoCSpec, pu_name: str, cores: int) -> SoCSpec:
+    """A copy of ``soc`` with one PU's core count changed."""
+    return soc.with_pu(scale_pu_cores(soc.pu(pu_name), cores))
+
+
+def soc_with_memory_frequency(
+    soc: SoCSpec, io_frequency_mhz: float
+) -> SoCSpec:
+    """A copy of ``soc`` with the memory I/O clock changed."""
+    return soc.with_memory(soc.memory.at_frequency(io_frequency_mhz))
+
+
+def soc_with_memory_channels(soc: SoCSpec, channels: int) -> SoCSpec:
+    """A copy of ``soc`` with a different memory channel count."""
+    return soc.with_memory(soc.memory.with_channels(channels))
+
+
+def frequency_sweep(
+    soc: SoCSpec, pu_name: str, frequencies_mhz: Sequence[float]
+) -> list:
+    """SoC variants across a PU frequency sweep (design exploration)."""
+    return [soc_with_pu_frequency(soc, pu_name, f) for f in frequencies_mhz]

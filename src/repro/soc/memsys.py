@@ -1,0 +1,379 @@
+"""Epoch-level model of the shared, fairness-controlled memory system.
+
+Section 2.3 of the paper shows that the three-region co-run slowdown
+curves are produced by two memory-controller mechanisms:
+
+1. **Row-hit prioritization**: a single streaming client achieves close to
+   peak bandwidth, but interleaving multiple streams collapses the
+   row-buffer hit rate and lowers the *effective* bandwidth well below
+   peak (Table 3).
+2. **Fairness control** (ATLAS/TCM/SMS style): service is balanced across
+   clients, so a heavy stream cannot hog the bus; beyond a point, raising
+   its demand does not raise its achieved bandwidth, which is why victim
+   curves flatten (the contention balance point).
+
+This module implements those mechanisms at epoch granularity:
+
+- an *effective bandwidth* model: interleaving pressure and poor row
+  locality shrink the serviceable bandwidth from the single-stream level
+  towards a multi-stream floor;
+- a *capped max-min* (progressive filling) bandwidth allocator — the
+  steady-state outcome of least-attained-service fairness scheduling;
+- a *loaded-latency* model: queueing delay grows with utilization, and a
+  PU with limited memory-level parallelism (MLP) sees its achievable
+  burst bandwidth shrink as latency grows (``mlp_lines * 64B / latency``).
+
+The co-run state is solved as a damped fixed point over (latency,
+per-stream effective demand, allocation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.soc.spec import MCBehavior
+from repro.units import CACHELINE_BYTES, clamp
+
+_EPS_BW = 1e-9
+_FIXED_POINT_ITERS = 24
+_DAMPING = 0.5
+
+
+@dataclass(frozen=True)
+class StreamDemand:
+    """One PU's memory traffic during an epoch.
+
+    Attributes
+    ----------
+    name:
+        Stream label (usually the PU name).
+    demand:
+        Unconstrained average bandwidth the stream would consume if memory
+        were uncontended — i.e. its standalone rate for the current phase
+        (GB/s). This is the paper's "bandwidth demand".
+    compute_time_per_gb:
+        Arithmetic time the owning kernel needs per GB of traffic
+        (seconds/GB); encodes operational intensity vs PU compute peak.
+    burst_bw:
+        Bandwidth the PU sustains while memory-active in standalone mode
+        (GB/s); the solved standalone burst bandwidth.
+    overlap:
+        Compute/memory overlap capability of the PU, [0, 1].
+    mlp_lines:
+        Cachelines the PU keeps in flight (limits burst BW under latency).
+    max_bw:
+        Front-end bandwidth ceiling of the PU (GB/s).
+    latency_sensitivity:
+        Exponent controlling burst-bandwidth decay beyond the PU's
+        saturation latency; see :class:`repro.soc.spec.PUSpec`.
+    locality:
+        Row-locality of the stream's access pattern, (0, 1].
+    """
+
+    name: str
+    demand: float
+    compute_time_per_gb: float
+    burst_bw: float
+    overlap: float
+    mlp_lines: float
+    max_bw: float
+    latency_sensitivity: float = 1.0
+    latency_exposure: float = 0.0
+    locality: float = 1.0
+    arbitration_weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class StreamGrant:
+    """Allocation outcome for one stream."""
+
+    name: str
+    demand: float
+    granted: float
+    latency_ns: float
+    burst_bw: float
+
+    @property
+    def satisfaction(self) -> float:
+        """Fraction of demanded bandwidth actually delivered."""
+        if self.demand <= _EPS_BW:
+            return 1.0
+        return min(self.granted / self.demand, 1.0)
+
+
+_LINES_PER_GB = 1e9 / CACHELINE_BYTES
+
+
+def time_per_gb(
+    compute_time_per_gb: float,
+    burst_bw: float,
+    overlap: float,
+    latency_exposure: float = 0.0,
+    latency_ns: float = 0.0,
+) -> float:
+    """Execution time per GB of traffic for a (partially) overlapped PU.
+
+    ``overlap = 1`` gives the roofline ``max`` of compute and memory time;
+    ``overlap = 0`` serializes them; intermediate values interpolate.
+
+    The exposure term adds the serialized latency of dependent accesses:
+    ``latency_exposure`` is the fraction of cachelines whose full DRAM
+    latency the PU cannot hide. It is weighted by the phase's
+    compute-boundedness — streaming (memory-bound) phases prefetch and
+    hide latency, while compute phases interleave dependent loads. This
+    is what produces the paper's minor-contention region slowdown (MRMC).
+    """
+    if burst_bw <= 0:
+        raise SimulationError("burst bandwidth must be positive")
+    t_mem = 1.0 / burst_bw
+    t_cmp = compute_time_per_gb
+    base = (1.0 - overlap) * (t_cmp + t_mem) + overlap * max(t_cmp, t_mem)
+    if latency_exposure > 0 and latency_ns > 0:
+        compute_weight = t_cmp / (t_cmp + t_mem) if (t_cmp + t_mem) > 0 else 0.0
+        base += (
+            latency_exposure
+            * latency_ns
+            * 1e-9
+            * _LINES_PER_GB
+            * compute_weight
+        )
+    return base
+
+
+class SharedMemorySystem:
+    """The SoC's shared DRAM subsystem under fairness-controlled scheduling.
+
+    Parameters
+    ----------
+    peak_bw:
+        Theoretical peak bandwidth (GB/s).
+    behavior:
+        Behavioural constants of the memory controller.
+    """
+
+    def __init__(self, peak_bw: float, behavior: Optional[MCBehavior] = None):
+        if peak_bw <= 0:
+            raise SimulationError(f"peak_bw must be positive, got {peak_bw}")
+        self.peak_bw = peak_bw
+        self.behavior = behavior or MCBehavior()
+
+    # ------------------------------------------------------------------
+    # Effective bandwidth
+    # ------------------------------------------------------------------
+    def effective_bw(self, streams: Sequence[StreamDemand]) -> float:
+        """Serviceable bandwidth for this mix of streams (GB/s).
+
+        Starts from the single-stream (row-hit limited) level and shrinks
+        towards the multi-stream floor as interleaving pressure grows.
+        Interleaving pressure combines how evenly traffic is split across
+        streams (1 - Herfindahl index, normalized) with how close total
+        demand is to peak. Poor row locality of the mix lowers it further.
+        """
+        b = self.behavior
+        total = sum(s.demand for s in streams)
+        if total <= _EPS_BW:
+            return self.peak_bw * b.single_stream_efficiency
+        demands = [s.demand for s in streams if s.demand > _EPS_BW]
+        # Row-buffer disruption is driven by the *minority* traffic — the
+        # requests that interleave into the dominant stream's row bursts.
+        # An exponential saturation in absolute GB/s keeps the effective
+        # bandwidth smooth and monotone in every stream's demand (a hard
+        # share threshold would make a heavier aggressor look less
+        # disruptive once it becomes the majority).
+        minority_traffic = total - max(demands)
+        mixing = 1.0 - math.exp(-minority_traffic / (0.10 * self.peak_bw))
+        pressure = clamp(total / self.peak_bw, 0.0, 1.0)
+        eff = b.single_stream_efficiency - (
+            b.single_stream_efficiency - b.multi_stream_efficiency
+        ) * mixing * pressure
+        locality = (
+            sum(s.demand * s.locality for s in streams) / total
+        ) ** b.locality_exponent
+        return self.peak_bw * eff * locality
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def loaded_latency_ns(self, utilization: float) -> float:
+        """Mean access latency at the given bus utilization."""
+        b = self.behavior
+        rho = clamp(utilization, 0.0, b.max_utilization)
+        return b.base_latency_ns * (
+            1.0 + b.queue_factor * rho / (1.0 - b.queue_saturation * rho)
+        )
+
+    def mlp_limited_bw(self, mlp_lines: float, latency_ns: float) -> float:
+        """Burst bandwidth sustainable with ``mlp_lines`` in flight (GB/s)."""
+        if latency_ns <= 0:
+            raise SimulationError("latency must be positive")
+        return mlp_lines * CACHELINE_BYTES / latency_ns  # bytes/ns == GB/s
+
+    @staticmethod
+    def pu_burst_bw(
+        max_bw: float,
+        mlp_lines: float,
+        latency_sensitivity: float,
+        latency_ns: float,
+    ) -> float:
+        """Achievable burst bandwidth of a PU at the given DRAM latency.
+
+        Up to the saturation latency ``L_sat = mlp_lines * 64B / max_bw``
+        the PU sustains ``max_bw``; beyond it, the bandwidth decays as
+        ``max_bw * (L_sat / L) ** latency_sensitivity``. A sensitivity of
+        1 is a strictly MLP-bound engine; values near 0 model DMA engines
+        that pipeline past most of the extra latency.
+        """
+        if latency_ns <= 0:
+            raise SimulationError("latency must be positive")
+        l_sat = mlp_lines * CACHELINE_BYTES / max_bw
+        if latency_ns <= l_sat or latency_sensitivity == 0:
+            return max_bw
+        return max_bw * (l_sat / latency_ns) ** latency_sensitivity
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _allocate(
+        self,
+        capacity: float,
+        targets: Sequence[float],
+        caps: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Fairness allocation: guaranteed floors + proportional excess.
+
+        Two stages model the steady state of least-attained-service
+        scheduling while staying (approximately) *source-oblivious* —
+        a victim's grant depends on the total competing demand, not on
+        how many clients generate it (Section 3.2 of the paper validates
+        this property on real hardware):
+
+        1. every stream is guaranteed up to ``guarantee_fraction`` of the
+           effective bandwidth (light clients are fully served first);
+        2. the residual capacity is water-filled proportionally to
+           ``weight * excess demand`` — demand-proportional, so splitting
+           one aggressor into two of half the demand changes nothing.
+
+        Per-stream caps bound any single client while others are hungry.
+        """
+        n = len(targets)
+        if weights is None:
+            weights = [1.0] * n
+        floor_level = self.behavior.guarantee_fraction * capacity
+        floors = [min(t, floor_level) for t in targets]
+        total_floors = sum(floors)
+        if total_floors >= capacity:
+            scale = capacity / total_floors if total_floors > 0 else 0.0
+            return [f * scale for f in floors]
+        alloc = list(floors)
+        remaining = capacity - total_floors
+
+        def fill(limits: Sequence[float], remaining: float) -> float:
+            hungry = [i for i in range(n) if limits[i] - alloc[i] > _EPS_BW]
+            while hungry and remaining > _EPS_BW:
+                share_w = {
+                    i: weights[i] * max(targets[i] - floors[i], _EPS_BW)
+                    for i in hungry
+                }
+                total_w = sum(share_w.values())
+                done = [
+                    i
+                    for i in hungry
+                    if limits[i] - alloc[i]
+                    <= remaining * share_w[i] / total_w
+                ]
+                if done:
+                    for i in done:
+                        remaining -= limits[i] - alloc[i]
+                        alloc[i] = limits[i]
+                    hungry = [i for i in hungry if i not in done]
+                else:
+                    for i in hungry:
+                        alloc[i] += remaining * share_w[i] / total_w
+                    remaining = 0.0
+            return remaining
+
+        limit = [min(t, c) for t, c in zip(targets, caps)]
+        remaining = fill(limit, remaining)
+        if remaining > _EPS_BW:
+            # Caps released when every other client is satisfied: the
+            # controller does not idle the bus for a lone hungry client.
+            fill(list(targets), remaining)
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Co-run resolution
+    # ------------------------------------------------------------------
+    def resolve(self, streams: Sequence[StreamDemand]) -> List[StreamGrant]:
+        """Solve the co-run steady state for a set of streams.
+
+        Returns one :class:`StreamGrant` per input stream (same order).
+        The solution is a damped fixed point over loaded latency,
+        MLP-limited burst bandwidth, latency-adjusted demand, and the
+        fairness allocation.
+        """
+        b = self.behavior
+        if not streams:
+            return []
+        for s in streams:
+            if s.demand < 0 or s.max_bw <= 0 or s.mlp_lines <= 0:
+                raise SimulationError(f"invalid stream demand: {s}")
+        capacity = self.effective_bw(streams)
+        n_active = sum(1 for s in streams if s.demand > _EPS_BW)
+        cap = b.cap_fraction * capacity if n_active > 1 else float("inf")
+
+        latency = b.base_latency_ns
+        grants = [0.0] * len(streams)
+        bursts = [s.burst_bw for s in streams]
+        for _ in range(_FIXED_POINT_ITERS):
+            targets = []
+            new_bursts = []
+            for s in streams:
+                if s.demand <= _EPS_BW:
+                    targets.append(0.0)
+                    new_bursts.append(s.burst_bw)
+                    continue
+                burst = min(
+                    s.burst_bw,
+                    s.max_bw,
+                    self.pu_burst_bw(
+                        s.max_bw, s.mlp_lines, s.latency_sensitivity, latency
+                    ),
+                )
+                burst = max(burst, _EPS_BW)
+                rate = 1.0 / time_per_gb(
+                    s.compute_time_per_gb,
+                    burst,
+                    s.overlap,
+                    s.latency_exposure,
+                    latency,
+                )
+                targets.append(min(rate, s.demand))
+                new_bursts.append(burst)
+            bursts = new_bursts
+            grants = self._allocate(
+                capacity,
+                targets,
+                [cap] * len(streams),
+                [s.arbitration_weight for s in streams],
+            )
+            rho = sum(grants) / capacity if capacity > 0 else 1.0
+            new_latency = self.loaded_latency_ns(rho)
+            latency = _DAMPING * latency + (1.0 - _DAMPING) * new_latency
+        return [
+            StreamGrant(
+                name=s.name,
+                demand=s.demand,
+                granted=min(g, s.demand),
+                latency_ns=latency,
+                burst_bw=burst,
+            )
+            for s, g, burst in zip(streams, grants, bursts)
+        ]
+
+    def resolve_single(self, stream: StreamDemand) -> StreamGrant:
+        """Convenience wrapper for a standalone stream."""
+        return self.resolve([stream])[0]

@@ -1,0 +1,297 @@
+"""Specifications of PUs, memory subsystems and whole SoCs.
+
+Specs are immutable value objects. Performance behaviour lives in
+:mod:`repro.soc.memsys` and :mod:`repro.soc.pu`; the spec only carries the
+architectural numbers (Table 6 of the paper for the two real platforms).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+class PUType(enum.Enum):
+    """Processing-unit archetypes the paper studies."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DLA = "dla"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PUSpec:
+    """One processing unit on the SoC.
+
+    Attributes
+    ----------
+    name:
+        Unique PU name on this SoC (e.g. ``"gpu"``).
+    pu_type:
+        Archetype; drives defaults and reporting only.
+    cores:
+        Core count (CPU cores, GPU SMs*64, DLA MAC groups).
+    frequency_mhz:
+        Operating clock in MHz.
+    flops_per_cycle_per_core:
+        Arithmetic throughput per core per cycle.
+    max_bw:
+        Front-end bandwidth limit in GB/s: the most DRAM bandwidth this
+        PU's load/store path can request regardless of memory contention.
+    mlp_lines:
+        Sustained memory-level parallelism: number of 64-byte cachelines
+        the PU keeps in flight. Together with ``max_bw`` it defines the
+        *saturation latency* ``L_sat = mlp_lines * 64B / max_bw``: up to
+        that DRAM latency the PU sustains its full front-end bandwidth;
+        beyond it, achievable burst bandwidth decays as
+        ``max_bw * (L_sat / L) ** latency_sensitivity``.
+    latency_sensitivity:
+        Exponent in [0, 1] controlling how strongly DRAM latency beyond
+        ``L_sat`` erodes burst bandwidth. 1 models a strictly MLP-bound
+        engine (CPU); small values model deeply-pipelined DMA engines
+        (DLA) that hide most, but not all, of the extra latency.
+    overlap:
+        Compute/memory overlap capability in [0, 1]; 1 means perfectly
+        overlapped (roofline ``max``), 0 means fully serialized.
+    latency_exposure:
+        Fraction of cachelines whose DRAM latency is fully exposed
+        (dependent accesses the PU cannot hide). Tiny for streaming
+        engines; it is what gives compute-bound (minor-region) kernels
+        their few-percent slowdown under heavy external pressure — the
+        paper's MRMC.
+    arbitration_weight:
+        Relative service weight at the memory controller. PUs that keep
+        many requests queued (GPUs) win slightly more service from
+        fairness schedulers than shallow-queue clients; the paper notes
+        the GPU's "total bandwidth demand with contention" is larger for
+        this reason.
+    """
+
+    name: str
+    pu_type: PUType
+    cores: int
+    frequency_mhz: float
+    flops_per_cycle_per_core: float
+    max_bw: float
+    mlp_lines: float
+    latency_sensitivity: float = 1.0
+    overlap: float = 1.0
+    latency_exposure: float = 0.0005
+    arbitration_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be positive")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(f"{self.name}: frequency must be positive")
+        if self.flops_per_cycle_per_core <= 0:
+            raise ConfigurationError(
+                f"{self.name}: flops_per_cycle_per_core must be positive"
+            )
+        if self.max_bw <= 0:
+            raise ConfigurationError(f"{self.name}: max_bw must be positive")
+        if self.mlp_lines <= 0:
+            raise ConfigurationError(f"{self.name}: mlp_lines must be positive")
+        if not 0 <= self.latency_sensitivity <= 1:
+            raise ConfigurationError(
+                f"{self.name}: latency_sensitivity must be in [0, 1]"
+            )
+        if not 0 <= self.overlap <= 1:
+            raise ConfigurationError(f"{self.name}: overlap must be in [0, 1]")
+        if not 0 <= self.latency_exposure <= 1:
+            raise ConfigurationError(
+                f"{self.name}: latency_exposure must be in [0, 1]"
+            )
+        if self.arbitration_weight <= 0:
+            raise ConfigurationError(
+                f"{self.name}: arbitration_weight must be positive"
+            )
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak arithmetic throughput in GFLOP/s."""
+        return (
+            self.cores
+            * self.frequency_mhz
+            * 1e6
+            * self.flops_per_cycle_per_core
+            / 1e9
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point in FLOPs/byte at this PU's own limits."""
+        return self.peak_gflops / self.max_bw
+
+    @property
+    def saturation_latency_ns(self) -> float:
+        """DRAM latency up to which the PU sustains ``max_bw`` (ns)."""
+        from repro.units import CACHELINE_BYTES
+
+        return self.mlp_lines * CACHELINE_BYTES / self.max_bw
+
+    def at_frequency(self, frequency_mhz: float) -> "PUSpec":
+        """This PU re-clocked; see :mod:`repro.soc.frequency` for scaling."""
+        from repro.soc.frequency import scale_pu_frequency
+
+        return scale_pu_frequency(self, frequency_mhz)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Shared DRAM subsystem of the SoC.
+
+    Peak bandwidth is derived from the channel configuration:
+    ``channels * bus_bits/8 * 2 (DDR) * io_mhz * 1e6`` bytes/s.
+    """
+
+    channels: int
+    bus_bits_per_channel: int
+    io_frequency_mhz: float
+    technology: str = "LPDDR4x"
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigurationError("channels must be positive")
+        if self.bus_bits_per_channel <= 0 or self.bus_bits_per_channel % 8:
+            raise ConfigurationError(
+                "bus_bits_per_channel must be a positive multiple of 8"
+            )
+        if self.io_frequency_mhz <= 0:
+            raise ConfigurationError("io_frequency_mhz must be positive")
+
+    @property
+    def total_bus_bits(self) -> int:
+        return self.channels * self.bus_bits_per_channel
+
+    @property
+    def peak_bw(self) -> float:
+        """Theoretical peak bandwidth in GB/s (DDR: two transfers/cycle)."""
+        bytes_per_cycle = self.total_bus_bits / 8 * 2
+        return bytes_per_cycle * self.io_frequency_mhz * 1e6 / 1e9
+
+    def at_frequency(self, io_frequency_mhz: float) -> "MemorySpec":
+        """Same memory architecture at a different I/O clock."""
+        return replace(self, io_frequency_mhz=io_frequency_mhz)
+
+    def with_channels(self, channels: int) -> "MemorySpec":
+        """Same memory architecture with a different channel count."""
+        return replace(self, channels=channels)
+
+
+@dataclass(frozen=True)
+class MCBehavior:
+    """Behavioural constants of the fairness-controlled memory controller.
+
+    These model the mechanisms Section 2.3 identifies (row-hit
+    prioritization and ATLAS/TCM-style fairness control) at epoch
+    granularity:
+
+    - ``single_stream_efficiency``: fraction of theoretical peak a single
+      perfectly-streaming client achieves (row-hit limited).
+    - ``multi_stream_efficiency``: asymptotic fraction of peak when
+      multiple heavy streams interleave and row-buffer hit rate collapses
+      (Table 3's "effective BW" under co-location).
+    - ``guarantee_fraction``: fairness floor — each active stream is
+      guaranteed this fraction of effective bandwidth before residual
+      capacity is shared (least-attained-service prioritization).
+    - ``cap_fraction``: optional fairness cap — while other streams are
+      unsatisfied, no stream may exceed this fraction of effective
+      bandwidth. Disabled (1.0) by default: a per-client cap breaks the
+      source-obliviousness the paper validates (one heavy aggressor
+      would be capped where two half-size ones are not). Kept for
+      ablation studies; curve flattening instead comes from aggressor
+      self-saturation under loaded latency.
+    - ``base_latency_ns``: unloaded DRAM access latency.
+    - ``queue_factor`` and ``queue_saturation``: loaded-latency model
+      ``latency = base * (1 + queue_factor * rho / (1 - queue_saturation
+      * rho))`` with utilization ``rho`` clipped below 1.
+    - ``locality_exponent``: how strongly poor row locality of the active
+      mix degrades effective bandwidth.
+    """
+
+    single_stream_efficiency: float = 0.93
+    multi_stream_efficiency: float = 0.64
+    guarantee_fraction: float = 0.15
+    cap_fraction: float = 1.0
+    base_latency_ns: float = 70.0
+    queue_factor: float = 1.1
+    queue_saturation: float = 0.90
+    locality_exponent: float = 1.0
+    max_utilization: float = 0.995
+
+    def __post_init__(self) -> None:
+        if not 0 < self.multi_stream_efficiency <= self.single_stream_efficiency <= 1:
+            raise ConfigurationError(
+                "need 0 < multi_stream_efficiency <= "
+                "single_stream_efficiency <= 1"
+            )
+        if not 0 < self.guarantee_fraction < 1:
+            raise ConfigurationError("guarantee_fraction must be in (0, 1)")
+        if not self.guarantee_fraction <= self.cap_fraction <= 1:
+            raise ConfigurationError(
+                "cap_fraction must be in [guarantee_fraction, 1]"
+            )
+        if self.base_latency_ns <= 0:
+            raise ConfigurationError("base_latency_ns must be positive")
+        if self.queue_factor < 0:
+            raise ConfigurationError("queue_factor must be >= 0")
+        if not 0 <= self.queue_saturation < 1:
+            raise ConfigurationError("queue_saturation must be in [0, 1)")
+        if not 0 < self.max_utilization < 1:
+            raise ConfigurationError("max_utilization must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class SoCSpec:
+    """A whole SoC: PUs sharing one memory system and one MC behaviour."""
+
+    name: str
+    pus: Tuple[PUSpec, ...]
+    memory: MemorySpec
+    mc: MCBehavior = field(default_factory=MCBehavior)
+
+    def __post_init__(self) -> None:
+        if not self.pus:
+            raise ConfigurationError("an SoC needs at least one PU")
+        names = [pu.name for pu in self.pus]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate PU names: {names}")
+
+    @property
+    def peak_bw(self) -> float:
+        """Theoretical peak DRAM bandwidth of the SoC in GB/s."""
+        return self.memory.peak_bw
+
+    @property
+    def pu_names(self) -> Tuple[str, ...]:
+        return tuple(pu.name for pu in self.pus)
+
+    def pu(self, name: str) -> PUSpec:
+        """Look up a PU by name."""
+        for pu in self.pus:
+            if pu.name == name:
+                return pu
+        raise ConfigurationError(
+            f"SoC {self.name!r} has no PU {name!r}; available: "
+            f"{', '.join(self.pu_names)}"
+        )
+
+    def with_pu(self, new_pu: PUSpec) -> "SoCSpec":
+        """A copy with the same-named PU replaced (design exploration)."""
+        if new_pu.name not in self.pu_names:
+            raise ConfigurationError(
+                f"SoC {self.name!r} has no PU {new_pu.name!r} to replace"
+            )
+        pus = tuple(new_pu if pu.name == new_pu.name else pu for pu in self.pus)
+        return replace(self, pus=pus)
+
+    def with_memory(self, memory: MemorySpec) -> "SoCSpec":
+        """A copy with a different memory subsystem (design exploration)."""
+        return replace(self, memory=memory)

@@ -1,0 +1,56 @@
+"""Unit helpers and conventions used across the library.
+
+Conventions
+-----------
+- Bandwidth is expressed in **GB/s** (decimal gigabytes, i.e. 1e9 bytes/s),
+  matching the paper's figures and tables.
+- Time is expressed in **seconds**.
+- Relative speed is a fraction in ``[0, 1]`` inside the library; the
+  reporting layer renders it as a percentage to match the paper.
+- Frequencies are expressed in **MHz** (the paper quotes PU and memory
+  clocks in MHz).
+"""
+
+from __future__ import annotations
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+
+CACHELINE_BYTES = 64
+"""Size of a memory transaction (one cacheline), in bytes."""
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes."""
+    return n_bytes / GIGA
+
+
+def gb_to_bytes(n_gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return n_gb * GIGA
+
+
+def bandwidth_gbps(n_bytes: float, seconds: float) -> float:
+    """Bandwidth in GB/s for ``n_bytes`` transferred over ``seconds``.
+
+    Raises
+    ------
+    ValueError
+        If ``seconds`` is not positive.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds!r}")
+    return n_bytes / seconds / GIGA
+
+
+def as_percent(fraction: float, digits: int = 1) -> str:
+    """Render a ``[0, 1]`` fraction as a percentage string, paper-style."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the inclusive range ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty clamp range [{lo}, {hi}]")
+    return max(lo, min(hi, value))

@@ -1,0 +1,22 @@
+"""Workload models: calibrators, Rodinia-style kernels, and DNNs.
+
+All workloads are described structurally (FLOPs, bytes, locality, phases);
+their bandwidth demands and run times on a given PU are *derived* by the
+SoC simulator, never hard-coded.
+"""
+
+from repro.workloads.kernel import KernelSpec, Phase
+from repro.workloads.roofline import calibrator, calibrator_sweep
+from repro.workloads.rodinia import rodinia_suite, rodinia_kernel
+from repro.workloads.dnn import dnn_model, dnn_suite
+
+__all__ = [
+    "KernelSpec",
+    "Phase",
+    "calibrator",
+    "calibrator_sweep",
+    "rodinia_suite",
+    "rodinia_kernel",
+    "dnn_model",
+    "dnn_suite",
+]

@@ -1,0 +1,350 @@
+"""DNN workload models for the deep learning accelerator (DLA).
+
+The paper validates its DLA slowdown model on ImageNet networks
+(ResNet-50, VGG-19, AlexNet) and constructs the DLA's PCCS parameters
+with MNIST networks whose convolution filter sizes control operational
+intensity. We model each network layer-by-layer: a layer contributes one
+execution phase whose FLOPs and DRAM traffic are derived from its real
+shape (batch 1, fp16 tensors). Per-layer operational intensity then
+varies exactly the way it does on real inference accelerators — early
+large-activation layers are bandwidth hungry, deep small-activation
+layers are compute bound, fully-connected layers are weight-bandwidth
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.kernel import KernelSpec, Phase
+
+BYTES_PER_ELEMENT = 2  # fp16 inference
+_DLA_LOCALITY = 0.95  # DMA-driven tensor streaming is near-sequential
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution layer shape."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_hw: int  # input height == width
+    kernel: int
+    stride: int = 1
+
+    @property
+    def out_hw(self) -> int:
+        return max(self.in_hw // self.stride, 1)
+
+    @property
+    def flops(self) -> float:
+        """Multiply-accumulate FLOPs (2 per MAC)."""
+        return (
+            2.0
+            * self.kernel
+            * self.kernel
+            * self.in_channels
+            * self.out_channels
+            * self.out_hw
+            * self.out_hw
+        )
+
+    @property
+    def traffic_bytes(self) -> float:
+        """Input + output activations plus weights, fp16."""
+        acts_in = self.in_channels * self.in_hw * self.in_hw
+        acts_out = self.out_channels * self.out_hw * self.out_hw
+        weights = (
+            self.kernel * self.kernel * self.in_channels * self.out_channels
+        )
+        return (acts_in + acts_out + weights) * BYTES_PER_ELEMENT
+
+
+@dataclass(frozen=True)
+class DepthwiseConvLayer:
+    """A depthwise 2-D convolution (one filter per channel).
+
+    Much lower arithmetic per byte than a full convolution — the layer
+    type that makes MobileNet-style networks bandwidth-hungry on
+    inference accelerators.
+    """
+
+    name: str
+    channels: int
+    in_hw: int
+    kernel: int
+    stride: int = 1
+
+    @property
+    def out_hw(self) -> int:
+        return max(self.in_hw // self.stride, 1)
+
+    @property
+    def flops(self) -> float:
+        return (
+            2.0
+            * self.kernel
+            * self.kernel
+            * self.channels
+            * self.out_hw
+            * self.out_hw
+        )
+
+    @property
+    def traffic_bytes(self) -> float:
+        acts_in = self.channels * self.in_hw * self.in_hw
+        acts_out = self.channels * self.out_hw * self.out_hw
+        weights = self.kernel * self.kernel * self.channels
+        return (acts_in + acts_out + weights) * BYTES_PER_ELEMENT
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully-connected layer shape."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.in_features * self.out_features
+
+    @property
+    def traffic_bytes(self) -> float:
+        weights = self.in_features * self.out_features
+        return (
+            weights + self.in_features + self.out_features
+        ) * BYTES_PER_ELEMENT
+
+
+Layer = object  # ConvLayer | FCLayer
+
+
+def _phases(layers: Sequence[Layer]) -> Tuple[Phase, ...]:
+    phases = []
+    for layer in layers:
+        phases.append(
+            Phase(
+                name=layer.name,
+                flops=layer.flops,
+                traffic_bytes=layer.traffic_bytes,
+                locality=_DLA_LOCALITY,
+            )
+        )
+    return tuple(phases)
+
+
+def _alexnet_layers() -> List[Layer]:
+    return [
+        ConvLayer("conv1", 3, 64, 224, 11, stride=4),
+        ConvLayer("conv2", 64, 192, 27, 5),
+        ConvLayer("conv3", 192, 384, 13, 3),
+        ConvLayer("conv4", 384, 256, 13, 3),
+        ConvLayer("conv5", 256, 256, 13, 3),
+        FCLayer("fc6", 9216, 4096),
+        FCLayer("fc7", 4096, 4096),
+        FCLayer("fc8", 4096, 1000),
+    ]
+
+
+def _vgg19_layers() -> List[Layer]:
+    layers: List[Layer] = []
+    plan = [
+        (2, 3, 64, 224),
+        (2, 64, 128, 112),
+        (4, 128, 256, 56),
+        (4, 256, 512, 28),
+        (4, 512, 512, 14),
+    ]
+    for block, (count, cin, cout, hw) in enumerate(plan, start=1):
+        for i in range(count):
+            layers.append(
+                ConvLayer(
+                    f"conv{block}_{i + 1}",
+                    cin if i == 0 else cout,
+                    cout,
+                    hw,
+                    3,
+                )
+            )
+    layers.append(FCLayer("fc1", 512 * 7 * 7, 4096))
+    layers.append(FCLayer("fc2", 4096, 4096))
+    layers.append(FCLayer("fc3", 4096, 1000))
+    return layers
+
+
+def _resnet50_layers() -> List[Layer]:
+    layers: List[Layer] = [ConvLayer("conv1", 3, 64, 224, 7, stride=2)]
+    # (blocks, in_ch, mid_ch, out_ch, spatial)
+    stages = [
+        (3, 64, 64, 256, 56),
+        (4, 256, 128, 512, 28),
+        (6, 512, 256, 1024, 14),
+        (3, 1024, 512, 2048, 7),
+    ]
+    for stage_idx, (blocks, cin, mid, cout, hw) in enumerate(stages, start=2):
+        for b in range(blocks):
+            in_ch = cin if b == 0 else cout
+            prefix = f"conv{stage_idx}_{b + 1}"
+            layers.append(ConvLayer(f"{prefix}a", in_ch, mid, hw, 1))
+            layers.append(ConvLayer(f"{prefix}b", mid, mid, hw, 3))
+            layers.append(ConvLayer(f"{prefix}c", mid, cout, hw, 1))
+            if b == 0:
+                layers.append(
+                    ConvLayer(f"{prefix}ds", in_ch, cout, hw, 1)
+                )
+    layers.append(FCLayer("fc", 2048, 1000))
+    return layers
+
+
+def _mnist_layers(filter_size: int, channels_scale: int = 1) -> List[Layer]:
+    c1 = 32 * channels_scale
+    c2 = 64 * channels_scale
+    return [
+        ConvLayer("conv1", 1, c1, 28, filter_size),
+        ConvLayer("conv2", c1, c2, 14, filter_size),
+        FCLayer("fc1", c2 * 7 * 7, 128),
+        FCLayer("fc2", 128, 10),
+    ]
+
+
+def _mobilenet_layers() -> List[Layer]:
+    """MobileNetV1: a stem conv plus 13 depthwise-separable blocks."""
+    layers: List[Layer] = [ConvLayer("conv1", 3, 32, 224, 3, stride=2)]
+    # (in_ch, out_ch, spatial, stride of the depthwise stage)
+    blocks = [
+        (32, 64, 112, 1),
+        (64, 128, 112, 2),
+        (128, 128, 56, 1),
+        (128, 256, 56, 2),
+        (256, 256, 28, 1),
+        (256, 512, 28, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ]
+    for i, (cin, cout, hw, stride) in enumerate(blocks, start=1):
+        layers.append(
+            DepthwiseConvLayer(f"dw{i}", cin, hw, 3, stride=stride)
+        )
+        layers.append(
+            ConvLayer(f"pw{i}", cin, cout, max(hw // stride, 1), 1)
+        )
+    layers.append(FCLayer("fc", 1024, 1000))
+    return layers
+
+
+_MODELS = {
+    "alexnet": _alexnet_layers,
+    "vgg19": _vgg19_layers,
+    "resnet50": _resnet50_layers,
+    "mobilenet": _mobilenet_layers,
+}
+
+DNN_NAMES: Tuple[str, ...] = tuple(sorted(_MODELS))
+
+
+def dnn_model(name: str, batches: int = 64) -> KernelSpec:
+    """A network's inference workload as a multi-phase kernel.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DNN_NAMES`.
+    batches:
+        Number of back-to-back single-image inferences; scales run length
+        (per-layer work is multiplied, phase structure kept per batch to
+        a single representative pass to keep simulations cheap).
+    """
+    factory = _MODELS.get(name)
+    if factory is None:
+        raise WorkloadError(
+            f"unknown DNN {name!r}; available: {', '.join(DNN_NAMES)}"
+        )
+    if batches <= 0:
+        raise WorkloadError("batches must be positive")
+    phases = tuple(
+        Phase(
+            name=p.name,
+            flops=p.flops * batches,
+            traffic_bytes=p.traffic_bytes * batches,
+            locality=p.locality,
+        )
+        for p in _phases(factory())
+    )
+    return KernelSpec(
+        name=name, phases=phases, suite="dnn", tags=("inference",)
+    )
+
+
+def dnn_suite(batches: int = 64) -> Dict[str, KernelSpec]:
+    """All modeled networks."""
+    return {name: dnn_model(name, batches=batches) for name in DNN_NAMES}
+
+
+def mnist_calibrator(
+    filter_size: int, batches: int = 256, channels_scale: int = 1
+) -> KernelSpec:
+    """The paper's DLA calibrator: MNIST net with a given filter size.
+
+    Larger filters raise operational intensity (more MACs per byte),
+    lowering bandwidth demand — the DLA analogue of the vector-add
+    calibrators used on CPU and GPU. ``channels_scale`` widens the
+    network so that weight reuse pushes intensity high enough to reach
+    the low-demand end of deep-learning accelerators with high compute
+    ridges.
+    """
+    if filter_size < 1 or filter_size > 13:
+        raise WorkloadError("filter_size must be in [1, 13]")
+    if batches <= 0:
+        raise WorkloadError("batches must be positive")
+    if channels_scale < 1 or channels_scale > 64:
+        raise WorkloadError("channels_scale must be in [1, 64]")
+    phases = tuple(
+        Phase(
+            name=p.name,
+            flops=p.flops * batches,
+            traffic_bytes=p.traffic_bytes * batches,
+            locality=p.locality,
+        )
+        for p in _phases(_mnist_layers(filter_size, channels_scale))
+    )
+    suffix = f"-c{channels_scale}" if channels_scale != 1 else ""
+    return KernelSpec(
+        name=f"mnist-f{filter_size}{suffix}",
+        phases=phases,
+        suite="dnn",
+        tags=("calibrator",),
+    )
+
+
+def mnist_calibrator_sweep(batches: int = 256) -> List[KernelSpec]:
+    """A calibrator family spanning the DLA's demand range.
+
+    Combines filter sizes and channel scales so the measured standalone
+    demands sweep from a few GB/s up to the DLA's bandwidth limit.
+    """
+    combos = (
+        (1, 1),
+        (3, 1),
+        (5, 1),
+        (7, 1),
+        (9, 1),
+        (5, 4),
+        (7, 4),
+        (9, 8),
+        (11, 16),
+        (13, 32),
+    )
+    return [
+        mnist_calibrator(f, batches=batches, channels_scale=c)
+        for f, c in combos
+    ]

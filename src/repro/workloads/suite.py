@@ -1,0 +1,45 @@
+"""Workload registry: uniform lookup across all suites."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.soc.spec import PUType
+from repro.workloads.dnn import DNN_NAMES, dnn_model
+from repro.workloads.kernel import KernelSpec
+from repro.workloads.rodinia import RODINIA_NAMES, rodinia_kernel
+from repro.workloads.roofline import calibrator
+
+
+def workload_names() -> Dict[str, Tuple[str, ...]]:
+    """Names of all built-in workloads by suite."""
+    return {"rodinia": RODINIA_NAMES, "dnn": DNN_NAMES}
+
+
+def lookup(
+    name: str, pu_type: Optional[PUType] = None
+) -> KernelSpec:
+    """Find a workload by name across suites.
+
+    Rodinia benchmarks need a ``pu_type`` (their implementations are
+    per-PU); DNNs run on the DLA and ignore it. Calibrators are addressed
+    as ``cal:<op_intensity>``.
+    """
+    if name.startswith("cal:"):
+        try:
+            intensity = float(name[4:])
+        except ValueError:
+            raise WorkloadError(f"bad calibrator spec {name!r}") from None
+        return calibrator(intensity)
+    if name in RODINIA_NAMES:
+        if pu_type is None:
+            raise WorkloadError(
+                f"Rodinia benchmark {name!r} needs a pu_type"
+            )
+        return rodinia_kernel(name, pu_type)
+    if name in DNN_NAMES:
+        return dnn_model(name)
+    raise WorkloadError(
+        f"unknown workload {name!r}; see workload_names() for options"
+    )

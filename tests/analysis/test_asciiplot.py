@@ -1,0 +1,95 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.series import Series
+
+
+class TestAsciiPlot:
+    def test_empty_returns_title(self):
+        assert ascii_plot([], title="t") == "t"
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_plot(
+            [Series("a", (0.0, 1.0), (0.0, 1.0))], width=20, height=6
+        )
+        assert "*" in chart
+        assert "legend: * a" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot(
+            [
+                Series("a", (0.0, 1.0), (0.0, 1.0)),
+                Series("b", (0.0, 1.0), (1.0, 0.0)),
+            ],
+            width=20,
+            height=6,
+        )
+        assert "* a" in chart and "o b" in chart
+
+    def test_y_range_labels(self):
+        chart = ascii_plot(
+            [Series("a", (0.0, 1.0), (0.25, 0.75))],
+            width=20,
+            height=6,
+            y_min=0.0,
+            y_max=1.0,
+        )
+        assert "1.00" in chart and "0.00" in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([Series("a", (0.0,), (0.0,))], width=2, height=2)
+
+    def test_degenerate_ranges_handled(self):
+        chart = ascii_plot(
+            [Series("a", (5.0, 5.0), (3.0, 3.0))], width=20, height=6
+        )
+        assert "legend" in chart
+
+
+class TestUnfairness:
+    def test_metric(self):
+        from repro.dram.metrics import unfairness_index
+
+        assert unfairness_index([1.0, 2.0]) == 2.0
+        assert unfairness_index([1.5, 1.5]) == 1.0
+
+    def test_rejects_empty(self):
+        from repro.dram.metrics import unfairness_index
+
+        with pytest.raises(ValueError):
+            unfairness_index([])
+
+    def test_fairness_policy_fairer_than_frfcfs(self):
+        """ATLAS bounds the unfairness index better than FR-FCFS under a
+        light/heavy co-location — the property the Section 2.3 policies
+        exist for."""
+        from repro.dram.metrics import unfairness_index
+        from repro.dram.system import CMPSystem
+
+        indices = {}
+        for policy in ("frfcfs", "atlas"):
+            system = CMPSystem(policy=policy)
+            light = system.group_configs(12.0, 2, 400, index_offset=0)
+            heavy = system.group_configs(60.0, 2, 1600, index_offset=2)
+            result = system.run(light + heavy)
+            slowdowns = []
+            for core in result.cores:
+                alone = system.run(
+                    [
+                        next(
+                            c
+                            for i, c in enumerate(light + heavy)
+                            if i == core.index
+                        )
+                    ]
+                )
+                slowdowns.append(
+                    result.elapsed_ns
+                    and (core.finish_ns or result.elapsed_ns)
+                    / alone.elapsed_ns
+                )
+            indices[policy] = unfairness_index(slowdowns)
+        assert indices["atlas"] <= indices["frfcfs"] * 1.5

@@ -1,0 +1,68 @@
+"""Error metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.errors import (
+    max_abs_error,
+    mean_abs_error,
+    mean_abs_error_pct,
+    relative_error,
+)
+from repro.errors import PredictionError
+
+
+class TestMeanAbsError:
+    def test_identical_sequences(self):
+        assert mean_abs_error([0.5, 0.6], [0.5, 0.6]) == 0.0
+
+    def test_known_value(self):
+        assert mean_abs_error([1.0, 0.0], [0.0, 0.0]) == 0.5
+
+    def test_pct_scaling(self):
+        assert mean_abs_error_pct([0.9], [0.8]) == pytest.approx(10.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PredictionError):
+            mean_abs_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            mean_abs_error([], [])
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=20))
+    def test_self_error_zero(self, values):
+        assert mean_abs_error(values, values) == 0.0
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=1, max_size=20),
+        st.lists(st.floats(0, 1), min_size=1, max_size=20),
+    )
+    def test_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert mean_abs_error(a, b) == pytest.approx(mean_abs_error(b, a))
+
+
+class TestMaxAbsError:
+    def test_picks_worst(self):
+        assert max_abs_error([1.0, 0.5], [0.9, 0.1]) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            max_abs_error([], [])
+
+    def test_bounds_mean(self):
+        a, b = [0.9, 0.5, 0.2], [0.8, 0.1, 0.2]
+        assert max_abs_error(a, b) >= mean_abs_error(a, b)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_reference_absolute(self):
+        assert relative_error(0.5, 0.0) == 0.5
+
+    def test_symmetric_sign(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)

@@ -1,0 +1,80 @@
+"""Text tables and figure series rendering."""
+
+import pytest
+
+from repro.analysis.series import Series, render_series, to_csv
+from repro.analysis.tables import TextTable, fmt, fmt_pct
+
+
+class TestTextTable:
+    def test_render_contains_cells(self):
+        table = TextTable(["policy", "RBH"], title="Table 3")
+        table.add_row(["fcfs", "47.7"])
+        text = table.render()
+        assert "Table 3" in text
+        assert "fcfs" in text and "47.7" in text
+
+    def test_alignment(self):
+        table = TextTable(["a", "b"])
+        table.add_row(["long-cell", "x"])
+        lines = table.render().splitlines()
+        assert lines[0].startswith("a")
+        assert "long-cell" in lines[2]
+
+    def test_wrong_row_width_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_fmt_helpers(self):
+        assert fmt(3.14159) == "3.1"
+        assert fmt(3.14159, 3) == "3.142"
+        assert fmt_pct(0.5) == "50.0"
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_points(self):
+        s = Series("s", (1.0, 2.0), (0.9, 0.8))
+        assert s.points == ((1.0, 0.9), (2.0, 0.8))
+
+    def test_render_scales_to_percent(self):
+        text = render_series(
+            [Series("actual", (10.0,), (0.85,))],
+            x_label="ext",
+            y_label="rs",
+        )
+        assert "85.0" in text
+        assert "actual" in text
+
+    def test_render_title(self):
+        text = render_series(
+            [Series("s", (1.0,), (1.0,))], title="panel a"
+        )
+        assert text.startswith("panel a")
+
+    def test_render_empty(self):
+        assert render_series([], title="t") == "t"
+
+    def test_csv_roundtrippable(self):
+        csv = to_csv(
+            [
+                Series("a", (1.0, 2.0), (0.9, 0.8)),
+                Series("b", (1.0, 2.0), (0.7, 0.6)),
+            ],
+            x_label="x",
+        )
+        lines = csv.splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1].startswith("1,")
+        assert len(lines) == 3
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""

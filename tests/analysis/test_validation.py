@@ -1,0 +1,94 @@
+"""The reusable validation-sweep API."""
+
+import pytest
+
+from repro.analysis.validation import predict_curve, validate_models
+from repro.baselines.gables import GablesModel
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+LEVELS = [40.0, 90.0, 136.0]
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return {
+        name: rodinia_kernel(name, PUType.GPU)
+        for name in ("hotspot", "srad", "pathfinder")
+    }
+
+
+@pytest.fixture(scope="module")
+def scores(xavier_engine, xavier_gpu_model, kernels):
+    gables = GablesModel(xavier_engine.soc.peak_bw)
+    return validate_models(
+        xavier_engine,
+        "gpu",
+        kernels,
+        {"pccs": xavier_gpu_model, "gables": gables},
+        external_levels=LEVELS,
+    )
+
+
+class TestValidateModels:
+    def test_one_score_per_model(self, scores):
+        assert set(scores) == {"pccs", "gables"}
+
+    def test_one_entry_per_kernel(self, scores, kernels):
+        assert {k.kernel_name for k in scores["pccs"].kernels} == set(kernels)
+
+    def test_mean_error_aggregates(self, scores):
+        score = scores["pccs"]
+        expected = sum(k.mean_error for k in score.kernels) / len(
+            score.kernels
+        )
+        assert score.mean_error == pytest.approx(expected)
+
+    def test_max_error_bounds_mean(self, scores):
+        for score in scores.values():
+            for kernel in score.kernels:
+                assert kernel.max_error >= kernel.mean_error
+
+    def test_worst_kernel(self, scores):
+        score = scores["pccs"]
+        assert score.worst_kernel.mean_error == max(
+            k.mean_error for k in score.kernels
+        )
+
+    def test_pccs_beats_gables(self, scores):
+        assert scores["pccs"].mean_error < scores["gables"].mean_error
+
+    def test_empty_suite_rejected(self, xavier_engine, xavier_gpu_model):
+        with pytest.raises(PredictionError):
+            validate_models(
+                xavier_engine, "gpu", {}, {"pccs": xavier_gpu_model}
+            )
+
+    def test_no_models_rejected(self, xavier_engine, kernels):
+        with pytest.raises(PredictionError):
+            validate_models(xavier_engine, "gpu", kernels, {})
+
+
+class TestPredictCurve:
+    def test_multiphase_path_for_pccs(self, xavier_engine, xavier_gpu_model):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        curve = predict_curve(
+            xavier_gpu_model, xavier_engine, cfd, "gpu", LEVELS
+        )
+        assert len(curve) == len(LEVELS)
+        # Multi-phase predictions differ from the avg-demand path.
+        demand = xavier_engine.standalone_demand(cfd, "gpu")
+        flat = tuple(
+            xavier_gpu_model.relative_speed(demand, y) for y in LEVELS
+        )
+        assert curve != flat
+
+    def test_avg_demand_path_for_other_models(self, xavier_engine):
+        gables = GablesModel(xavier_engine.soc.peak_bw)
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        curve = predict_curve(gables, xavier_engine, cfd, "gpu", LEVELS)
+        demand = xavier_engine.standalone_demand(cfd, "gpu")
+        assert curve == tuple(
+            gables.relative_speed(demand, y) for y in LEVELS
+        )

@@ -1,0 +1,97 @@
+"""Bubble-Up sensitivity-curve baseline."""
+
+import pytest
+
+from repro.baselines.bubbleup import BubbleUpModel, SensitivityCurve
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+
+class TestSensitivityCurve:
+    def curve(self):
+        return SensitivityCurve(
+            kernel_name="k",
+            pu_name="gpu",
+            pressures=(20.0, 60.0, 100.0),
+            speeds=(0.95, 0.80, 0.70),
+        )
+
+    def test_exact_points(self):
+        c = self.curve()
+        assert c.relative_speed(60.0) == 0.80
+
+    def test_interpolates_between_points(self):
+        c = self.curve()
+        assert c.relative_speed(40.0) == pytest.approx(0.875)
+
+    def test_clamps_above_range(self):
+        assert self.curve().relative_speed(200.0) == 0.70
+
+    def test_interpolates_from_unit_below_range(self):
+        c = self.curve()
+        assert c.relative_speed(0.0) == pytest.approx(1.0)
+        assert c.relative_speed(10.0) == pytest.approx(0.975)
+
+    def test_negative_pressure_rejected(self):
+        with pytest.raises(PredictionError):
+            self.curve().relative_speed(-1.0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PredictionError):
+            SensitivityCurve("k", "gpu", (60.0, 20.0), (0.8, 0.9))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PredictionError):
+            SensitivityCurve("k", "gpu", (20.0,), (0.8, 0.9))
+
+
+class TestBubbleUpModel:
+    @pytest.fixture(scope="class")
+    def model(self, xavier_engine):
+        return BubbleUpModel(xavier_engine, "gpu", steps=4)
+
+    def test_profiling_cost_counted(self, model):
+        kernel = rodinia_kernel("srad", PUType.GPU)
+        before = model.corun_measurements
+        model.profile_kernel(kernel)
+        assert model.corun_measurements == before + 4
+
+    def test_curve_cached(self, model):
+        kernel = rodinia_kernel("srad", PUType.GPU)
+        model.profile_kernel(kernel)
+        cost = model.corun_measurements
+        model.profile_kernel(kernel)
+        assert model.corun_measurements == cost  # no re-profiling
+
+    def test_high_accuracy_at_profiled_points(self, model, xavier_engine):
+        """Bubble-Up is near-exact where it measured — the Table 10
+        'high accuracy' entry."""
+        from repro.workloads.roofline import calibrator_for_bandwidth
+
+        kernel = rodinia_kernel("pathfinder", PUType.GPU)
+        curve = model.profile_kernel(kernel)
+        level = curve.pressures[2]
+        bubble, _ = calibrator_for_bandwidth(xavier_engine, "cpu", level)
+        actual = xavier_engine.relative_speed(
+            "gpu", kernel, {"cpu": bubble}
+        )
+        assert curve.relative_speed(level) == pytest.approx(actual, abs=1e-9)
+
+    def test_unprofiled_curve_is_none(self, model):
+        assert model.curve_for("nonexistent") is None
+
+    def test_requires_two_steps(self, xavier_engine):
+        with pytest.raises(PredictionError):
+            BubbleUpModel(xavier_engine, "gpu", steps=1)
+
+    def test_profiling_cost_scales_with_apps_unlike_pccs(
+        self, xavier_engine
+    ):
+        """The paper's core argument: Bubble-Up's co-run campaign grows
+        with the number of applications; PCCS's calibrator campaign is
+        per-PU and amortizes to zero per new application."""
+        model = BubbleUpModel(xavier_engine, "gpu", steps=4)
+        for name in ("srad", "pathfinder", "kmeans"):
+            model.profile_kernel(rodinia_kernel(name, PUType.GPU))
+        assert model.corun_measurements == 3 * 4

@@ -1,0 +1,84 @@
+"""The Gables baseline: its assumptions, faithfully wrong."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.gables import GablesModel
+from repro.errors import PredictionError
+
+PEAK = 136.5
+
+
+@pytest.fixture()
+def gables() -> GablesModel:
+    return GablesModel(PEAK)
+
+
+class TestEffectiveBW:
+    def test_below_peak_unreduced(self, gables):
+        """Gables' defining (wrong) assumption: no contention below peak."""
+        assert gables.effective_bw(60.0, 60.0) == 60.0
+
+    def test_at_peak_unreduced(self, gables):
+        assert gables.effective_bw(60.0, PEAK - 60.0) == 60.0
+
+    def test_above_peak_pro_rated(self, gables):
+        granted = gables.effective_bw(100.0, 100.0)
+        assert granted == pytest.approx(100.0 * PEAK / 200.0)
+
+    def test_negative_rejected(self, gables):
+        with pytest.raises(PredictionError):
+            gables.effective_bw(-1.0, 0.0)
+
+
+class TestRelativeSpeed:
+    def test_no_slowdown_below_peak(self, gables):
+        assert gables.relative_speed(60.0, 70.0) == 1.0
+
+    def test_pro_rated_slowdown_above_peak(self, gables):
+        rs = gables.relative_speed(100.0, 100.0)
+        assert rs == pytest.approx(PEAK / 200.0)
+
+    def test_zero_demand_full_speed(self, gables):
+        assert gables.relative_speed(0.0, 130.0) == 1.0
+
+    def test_memory_fraction_softens(self, gables):
+        pure = gables.relative_speed(100.0, 100.0, memory_fraction=1.0)
+        half = gables.relative_speed(100.0, 100.0, memory_fraction=0.5)
+        assert half > pure
+
+    def test_zero_memory_fraction_never_slows(self, gables):
+        assert gables.relative_speed(100.0, 100.0, memory_fraction=0.0) == 1.0
+
+    def test_bad_memory_fraction_rejected(self, gables):
+        with pytest.raises(PredictionError):
+            gables.relative_speed(100.0, 100.0, memory_fraction=1.5)
+
+    @given(st.floats(0.0, 140.0), st.floats(0.0, 140.0))
+    def test_rs_in_unit_range(self, x, y):
+        rs = GablesModel(PEAK).relative_speed(x, y)
+        assert 0.0 < rs <= 1.0
+
+    @given(st.floats(1.0, 140.0), st.floats(0.0, 140.0), st.floats(0.0, 140.0))
+    def test_monotone_in_external(self, x, y1, y2):
+        gables = GablesModel(PEAK)
+        lo, hi = min(y1, y2), max(y1, y2)
+        assert gables.relative_speed(x, hi) <= gables.relative_speed(x, lo)
+
+
+class TestRoofline:
+    def test_memory_bound_side(self):
+        assert GablesModel.attainable_gflops(2.0, 1000.0, 100.0) == 200.0
+
+    def test_compute_bound_side(self):
+        assert GablesModel.attainable_gflops(50.0, 1000.0, 100.0) == 1000.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(PredictionError):
+            GablesModel.attainable_gflops(1.0, 0.0, 100.0)
+
+
+class TestConstruction:
+    def test_zero_peak_rejected(self):
+        with pytest.raises(PredictionError):
+            GablesModel(0.0)

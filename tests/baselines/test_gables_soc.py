@@ -1,0 +1,89 @@
+"""The full SoC-level Gables roofline."""
+
+import pytest
+
+from repro.baselines.gables import best_work_split, gables_soc_attainable
+from repro.errors import PredictionError
+from repro.soc.configs import xavier_agx
+
+
+class TestSoCRoofline:
+    def test_single_pu_compute_bound(self):
+        soc = xavier_agx()
+        outcome = gables_soc_attainable(soc, {"gpu": (1.0, 1000.0)})
+        assert outcome.gflops == pytest.approx(soc.pu("gpu").peak_gflops)
+        assert outcome.binding_constraint == "compute:gpu"
+
+    def test_single_pu_memory_bound(self):
+        soc = xavier_agx()
+        outcome = gables_soc_attainable(soc, {"gpu": (1.0, 1.0)})
+        assert outcome.gflops == pytest.approx(soc.peak_bw)
+        assert outcome.binding_constraint == "memory"
+
+    def test_memory_ceiling_shared_across_pus(self):
+        """Two memory-hungry PUs split the one DRAM ceiling."""
+        soc = xavier_agx()
+        outcome = gables_soc_attainable(
+            soc, {"gpu": (0.5, 1.0), "cpu": (0.5, 1.0)}
+        )
+        assert outcome.binding_constraint == "memory"
+        assert outcome.gflops == pytest.approx(soc.peak_bw)
+
+    def test_per_pu_breakdown_sums(self):
+        soc = xavier_agx()
+        outcome = gables_soc_attainable(
+            soc, {"gpu": (0.7, 10.0), "cpu": (0.3, 10.0)}
+        )
+        assert sum(outcome.per_pu_gflops.values()) == pytest.approx(
+            outcome.gflops
+        )
+
+    def test_weak_pu_with_large_share_binds(self):
+        soc = xavier_agx()
+        outcome = gables_soc_attainable(
+            soc, {"gpu": (0.1, 500.0), "cpu": (0.9, 500.0)}
+        )
+        assert outcome.binding_constraint == "compute:cpu"
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(PredictionError):
+            gables_soc_attainable(xavier_agx(), {"gpu": (0.5, 10.0)})
+
+    def test_zero_intensity_rejected(self):
+        with pytest.raises(PredictionError):
+            gables_soc_attainable(xavier_agx(), {"gpu": (1.0, 0.0)})
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(PredictionError):
+            gables_soc_attainable(xavier_agx(), {})
+
+
+class TestWorkSplit:
+    def test_compute_heavy_work_prefers_gpu(self):
+        """At high intensity, the split follows compute capacity: the
+        GPU (10x the CPU's GFLOPS) should take ~90% of the work."""
+        fraction, outcome = best_work_split(
+            xavier_agx(), "gpu", "cpu", 500.0, 500.0
+        )
+        assert fraction > 0.85
+        assert outcome.gflops > xavier_agx().pu("gpu").peak_gflops
+
+    def test_memory_bound_split_indifferent_but_capped(self):
+        """At tiny intensity, the memory ceiling binds regardless of the
+        split: throughput equals I * peak BW."""
+        _, outcome = best_work_split(xavier_agx(), "gpu", "cpu", 0.5, 0.5)
+        assert outcome.gflops == pytest.approx(0.5 * xavier_agx().peak_bw)
+        assert outcome.binding_constraint == "memory"
+
+    def test_steps_validated(self):
+        with pytest.raises(PredictionError):
+            best_work_split(xavier_agx(), "gpu", "cpu", 1.0, 1.0, steps=1)
+
+    def test_split_uses_both_pus_when_balanced_helps(self):
+        """Between the extremes, offloading a slice to the CPU beats
+        GPU-only whenever the GPU's compute ceiling binds."""
+        gpu_only = gables_soc_attainable(
+            xavier_agx(), {"gpu": (1.0, 500.0)}
+        )
+        _, best = best_work_split(xavier_agx(), "gpu", "cpu", 500.0, 500.0)
+        assert best.gflops > gpu_only.gflops

@@ -1,0 +1,49 @@
+"""Proportional-share strawman."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.proportional import ProportionalShareModel
+from repro.errors import PredictionError
+
+PEAK = 136.5
+
+
+class TestProportional:
+    def test_unloaded_full_speed(self):
+        model = ProportionalShareModel(PEAK)
+        assert model.relative_speed(60.0, 0.0) == 1.0
+
+    def test_proportional_split(self):
+        model = ProportionalShareModel(100.0)
+        # 60 vs 60: share is 50 of 100 peak -> RS 50/60.
+        assert model.relative_speed(60.0, 60.0) == pytest.approx(50.0 / 60.0)
+
+    def test_light_demand_unaffected(self):
+        model = ProportionalShareModel(100.0)
+        # share = 10/70 * 100 = 14.3 > demand 10 -> full speed.
+        assert model.relative_speed(10.0, 60.0) == 1.0
+
+    def test_negative_rejected(self):
+        model = ProportionalShareModel(PEAK)
+        with pytest.raises(PredictionError):
+            model.relative_speed(-1.0, 10.0)
+
+    def test_zero_peak_rejected(self):
+        with pytest.raises(PredictionError):
+            ProportionalShareModel(0.0)
+
+    @given(st.floats(0.0, 140.0), st.floats(0.0, 140.0))
+    def test_rs_in_unit_range(self, x, y):
+        rs = ProportionalShareModel(PEAK).relative_speed(x, y)
+        assert 0.0 < rs <= 1.0
+
+    def test_harsher_than_gables_below_peak(self):
+        """The strawman predicts contention below peak; Gables does not."""
+        from repro.baselines.gables import GablesModel
+
+        prop = ProportionalShareModel(PEAK)
+        gables = GablesModel(PEAK)
+        assert prop.relative_speed(90.0, 90.0) < gables.relative_speed(
+            90.0, 90.0 - 50.0
+        )

@@ -1,0 +1,56 @@
+"""Shared fixtures: session-scoped engines and constructed models.
+
+Model construction runs calibrator sweeps; sharing one engine per SoC
+across the whole test session keeps the suite fast (standalone profiles
+and constructed parameters are cached on the engine / in these fixtures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gables import GablesModel
+from repro.core.calibration import build_pccs_parameters
+from repro.core.model import PCCSModel
+from repro.soc.configs import snapdragon_855, xavier_agx
+from repro.soc.engine import CoRunEngine
+
+
+@pytest.fixture(scope="session")
+def xavier_engine() -> CoRunEngine:
+    return CoRunEngine(xavier_agx())
+
+
+@pytest.fixture(scope="session")
+def snapdragon_engine() -> CoRunEngine:
+    return CoRunEngine(snapdragon_855())
+
+
+@pytest.fixture(scope="session")
+def xavier_gpu_params(xavier_engine):
+    return build_pccs_parameters(xavier_engine, "gpu")
+
+
+@pytest.fixture(scope="session")
+def xavier_cpu_params(xavier_engine):
+    return build_pccs_parameters(xavier_engine, "cpu")
+
+
+@pytest.fixture(scope="session")
+def xavier_dla_params(xavier_engine):
+    return build_pccs_parameters(xavier_engine, "dla")
+
+
+@pytest.fixture(scope="session")
+def xavier_gpu_model(xavier_gpu_params) -> PCCSModel:
+    return PCCSModel(xavier_gpu_params)
+
+
+@pytest.fixture(scope="session")
+def xavier_cpu_model(xavier_cpu_params) -> PCCSModel:
+    return PCCSModel(xavier_cpu_params)
+
+
+@pytest.fixture(scope="session")
+def xavier_gables(xavier_engine) -> GablesModel:
+    return GablesModel(xavier_engine.soc.peak_bw)

@@ -1,0 +1,139 @@
+"""Calibration sweeps against the simulated SoC."""
+
+import pytest
+
+from repro.core.calibration import (
+    build_pccs_parameters,
+    default_demand_levels,
+    pressure_generators,
+    run_calibration,
+)
+from repro.errors import CalibrationError
+
+
+@pytest.fixture(scope="module")
+def small_calibration(xavier_engine):
+    return run_calibration(
+        xavier_engine,
+        "gpu",
+        demand_levels=[20.0, 50.0, 80.0, 110.0],
+        external_levels=[30.0, 70.0, 110.0, 136.5],
+    )
+
+
+class TestRunCalibration:
+    def test_matrix_shape(self, small_calibration):
+        assert len(small_calibration.rela) == 4
+        assert all(len(row) == 4 for row in small_calibration.rela)
+
+    def test_speeds_are_fractions(self, small_calibration):
+        for row in small_calibration.rela:
+            for value in row:
+                assert 0.0 < value <= 1.0
+
+    def test_std_bw_ascending(self, small_calibration):
+        assert list(small_calibration.std_bw) == sorted(
+            small_calibration.std_bw
+        )
+
+    def test_pressure_pu_is_cpu_for_gpu_target(self, small_calibration):
+        assert small_calibration.pressure_pu == "cpu"
+
+    def test_rows_roughly_monotone_in_pressure(self, small_calibration):
+        """More external demand never speeds the victim up (much)."""
+        for row in small_calibration.rela:
+            for a, b in zip(row, row[1:]):
+                assert b <= a + 0.02
+
+    def test_heavier_rows_slow_more_at_max_pressure(self, small_calibration):
+        last = small_calibration.column(3)
+        assert last[-1] < last[0]
+
+    def test_row_column_accessors(self, small_calibration):
+        assert small_calibration.row(0) == small_calibration.rela[0]
+        assert small_calibration.column(0) == tuple(
+            r[0] for r in small_calibration.rela
+        )
+
+    def test_unsorted_demand_levels_rejected(self, xavier_engine):
+        with pytest.raises(CalibrationError):
+            run_calibration(
+                xavier_engine, "gpu", demand_levels=[50.0, 20.0]
+            )
+
+    def test_unsorted_external_levels_rejected(self, xavier_engine):
+        with pytest.raises(CalibrationError):
+            run_calibration(
+                xavier_engine,
+                "gpu",
+                demand_levels=[20.0, 50.0],
+                external_levels=[70.0, 30.0],
+            )
+
+
+class TestPressureGenerators:
+    def test_defaults_to_cpu_for_gpu(self, xavier_engine):
+        src, kernels = pressure_generators(xavier_engine, "gpu", [30.0])
+        assert src == "cpu"
+        assert 30.0 in kernels
+
+    def test_defaults_to_gpu_for_cpu(self, xavier_engine):
+        src, _ = pressure_generators(xavier_engine, "cpu", [30.0])
+        assert src == "gpu"
+
+    def test_explicit_source_respected(self, xavier_engine):
+        src, _ = pressure_generators(
+            xavier_engine, "gpu", [30.0], pressure_pu="dla"
+        )
+        assert src == "dla"
+
+    def test_target_cannot_pressure_itself(self, xavier_engine):
+        with pytest.raises(CalibrationError):
+            pressure_generators(
+                xavier_engine, "gpu", [30.0], pressure_pu="gpu"
+            )
+
+
+class TestDefaultLevels:
+    def test_levels_span_reachable_range(self, xavier_engine):
+        levels = default_demand_levels(xavier_engine, "dla")
+        assert levels == sorted(levels)
+        assert levels[-1] <= 31.0  # DLA maxes out near 30 GB/s
+
+    def test_levels_positive(self, xavier_engine):
+        assert all(lv > 0 for lv in default_demand_levels(xavier_engine, "cpu"))
+
+
+class TestBuildParameters:
+    def test_build_for_every_pu(self, xavier_gpu_params, xavier_cpu_params, xavier_dla_params):
+        for params in (xavier_gpu_params, xavier_cpu_params, xavier_dla_params):
+            assert params.peak_bw == pytest.approx(136.5, abs=0.5)
+
+    def test_dla_has_smallest_intensive_boundary(
+        self, xavier_gpu_params, xavier_cpu_params, xavier_dla_params
+    ):
+        assert (
+            xavier_dla_params.intensive_bw
+            < min(xavier_gpu_params.intensive_bw, xavier_cpu_params.intensive_bw)
+        )
+
+    def test_dla_rate_is_shallowest(
+        self, xavier_gpu_params, xavier_cpu_params, xavier_dla_params
+    ):
+        """Paper Table 7: the DLA has the smallest Rate^I."""
+        assert (
+            xavier_dla_params.representative_rate_i
+            < xavier_gpu_params.representative_rate_i
+        )
+        assert (
+            xavier_dla_params.representative_rate_i
+            < xavier_cpu_params.representative_rate_i
+        )
+
+    def test_accepts_precomputed_calibration(
+        self, xavier_engine, small_calibration
+    ):
+        params = build_pccs_parameters(
+            xavier_engine, "gpu", calibration=small_calibration
+        )
+        assert params.pu_name == "gpu"

@@ -1,0 +1,187 @@
+"""Construction algorithm: parameter recovery from synthetic matrices."""
+
+import pytest
+
+from repro.core.construction import ConstructionOptions, construct_parameters
+from repro.core.model import PCCSModel
+from repro.core.parameters import PCCSParameters
+from repro.errors import CalibrationError
+
+PEAK = 137.0
+
+
+def synthetic_matrix(params: PCCSParameters, std_bw, ext_bw):
+    """Generate a relative-speed matrix from a known model."""
+    model = PCCSModel(params)
+    return [
+        [model.relative_speed(x, y) for y in ext_bw] for x in std_bw
+    ]
+
+
+@pytest.fixture()
+def truth() -> PCCSParameters:
+    return PCCSParameters(
+        normal_bw=35.0,
+        intensive_bw=90.0,
+        mrmc=0.05,
+        cbp=50.0,
+        tbwdc=85.0,
+        rate_n=0.008,
+        peak_bw=PEAK,
+        pu_name="truth",
+    )
+
+
+@pytest.fixture()
+def grid():
+    std_bw = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 95.0, 110.0, 125.0]
+    ext_bw = [PEAK * (i + 1) / 12 for i in range(12)]
+    return std_bw, ext_bw
+
+
+class TestRecovery:
+    """The algorithm should approximately recover known parameters."""
+
+    def test_boundaries_recovered(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        assert got.normal_bw == pytest.approx(truth.normal_bw, abs=10.0)
+        assert got.intensive_bw == pytest.approx(truth.intensive_bw, abs=16.0)
+
+    def test_mrmc_is_raw_boundary_reduction(self, truth, grid):
+        """MRMC extraction follows the paper: the reduction of the last
+        still-minor calibrator at maximal pressure."""
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        assert 0.0 < got.mrmc < truth.mrmc
+        boundary_index = std_bw.index(got.normal_bw)
+        expected = 1.0 - rela[boundary_index - 1][-1]
+        assert got.mrmc == pytest.approx(expected)
+
+    def test_cbp_recovered(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        assert got.cbp == pytest.approx(truth.cbp, abs=15.0)
+
+    def test_rate_recovered(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        assert got.rate_n == pytest.approx(truth.rate_n, rel=0.5)
+
+    def test_roundtrip_prediction_quality(self, truth, grid):
+        """Reconstructed model predicts the generating model closely."""
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        truth_model = PCCSModel(truth)
+        got_model = PCCSModel(got)
+        errors = [
+            abs(
+                truth_model.relative_speed(x, y)
+                - got_model.relative_speed(x, y)
+            )
+            for x in std_bw
+            for y in ext_bw
+        ]
+        assert sum(errors) / len(errors) < 0.05
+
+    def test_pu_name_stored(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK, pu_name="gpu")
+        assert got.pu_name == "gpu"
+
+
+class TestNoMinorRegion:
+    def test_dla_style_matrix(self, grid):
+        """Heavy reduction on the smallest row -> no minor region."""
+        std_bw = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+        ext_bw = [PEAK * (i + 1) / 10 for i in range(10)]
+        # Everything slows notably, even the smallest kernel, and the
+        # curves flatten mid-sweep (the fairness balance point).
+        rela = [
+            [max(1.0 - 0.12 - 0.004 * (x + y), 0.55) for y in ext_bw]
+            for x in std_bw
+        ]
+        got = construct_parameters(rela, std_bw, ext_bw, PEAK)
+        assert got.normal_bw == 0.0
+        assert got.mrmc is None
+
+
+class TestInputValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters([], [], [], PEAK)
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters(
+                [[1.0, 0.9], [1.0]], [10.0, 20.0], [10.0, 20.0], PEAK
+            )
+
+    def test_mismatched_std_bw_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters(
+                [[1.0], [0.9]], [10.0], [10.0], PEAK
+            )
+
+    def test_unsorted_rows_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters(
+                [[0.9], [1.0]], [20.0, 10.0], [10.0], PEAK
+            )
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters(
+                [[0.9, 1.0]], [10.0], [20.0, 10.0], PEAK
+            )
+
+    def test_out_of_range_speed_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters([[1.4]], [10.0], [10.0], PEAK)
+
+    def test_negative_std_bw_rejected(self):
+        with pytest.raises(CalibrationError):
+            construct_parameters([[0.9]], [-10.0], [10.0], PEAK)
+
+    def test_flat_matrix_raises_helpful_error(self):
+        """No contention anywhere: the sweep never reached it."""
+        std_bw = [10.0, 20.0, 30.0]
+        ext_bw = [10.0, 20.0, 30.0]
+        rela = [[1.0] * 3 for _ in std_bw]
+        with pytest.raises(CalibrationError):
+            construct_parameters(rela, std_bw, ext_bw, PEAK)
+
+
+class TestOptions:
+    def test_options_dataclass_defaults(self):
+        opts = ConstructionOptions()
+        assert opts.boundary_factor == 2.0
+        assert opts.notable_factor == 2.0
+
+    def test_boundary_factor_changes_boundary(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        loose = construct_parameters(
+            rela, std_bw, ext_bw, PEAK,
+            options=ConstructionOptions(boundary_factor=1.2),
+        )
+        strict = construct_parameters(
+            rela, std_bw, ext_bw, PEAK,
+            options=ConstructionOptions(boundary_factor=4.0),
+        )
+        assert loose.normal_bw <= strict.normal_bw
+
+    def test_boundary_only_tbwdc_mode(self, truth, grid):
+        std_bw, ext_bw = grid
+        rela = synthetic_matrix(truth, std_bw, ext_bw)
+        paper_mode = construct_parameters(
+            rela, std_bw, ext_bw, PEAK,
+            options=ConstructionOptions(tbwdc_from_boundary_only=True),
+        )
+        assert paper_mode.tbwdc > 0

@@ -1,0 +1,133 @@
+"""Design-space exploration: frequency selection."""
+
+import pytest
+
+from repro.core.explorer import FrequencyExplorer, FrequencyPoint
+from repro.errors import PredictionError
+from repro.soc.configs import xavier_agx
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+FREQS = (590.0, 830.0, 1100.0, 1377.0)
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return FrequencyExplorer(
+        xavier_agx(),
+        "gpu",
+        kernel_factory=lambda: rodinia_kernel("streamcluster", PUType.GPU),
+    )
+
+
+def make_point(freq, speed):
+    return FrequencyPoint(
+        value=freq,
+        standalone_speed=speed,
+        demand_bw=50.0,
+        relative_speed=1.0,
+        corun_speed=speed,
+    )
+
+
+class TestSelect:
+    def test_lowest_frequency_within_budget(self):
+        points = [
+            make_point(500.0, 80.0),
+            make_point(700.0, 97.0),
+            make_point(900.0, 100.0),
+        ]
+        chosen = FrequencyExplorer.select(points, 0.05)
+        assert chosen.frequency_mhz == 700.0
+
+    def test_zero_budget_picks_best(self):
+        points = [make_point(500.0, 80.0), make_point(900.0, 100.0)]
+        assert FrequencyExplorer.select(points, 0.0).frequency_mhz == 900.0
+
+    def test_large_budget_picks_lowest(self):
+        points = [make_point(500.0, 80.0), make_point(900.0, 100.0)]
+        assert FrequencyExplorer.select(points, 0.5).frequency_mhz == 500.0
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(PredictionError):
+            FrequencyExplorer.select([], 0.05)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(PredictionError):
+            FrequencyExplorer.select([make_point(500.0, 80.0)], 1.0)
+
+
+class TestConstruction:
+    def test_needs_second_pu(self):
+        from repro.soc.spec import MemorySpec, PUSpec, SoCSpec
+
+        lonely = SoCSpec(
+            name="one-pu",
+            pus=(
+                PUSpec(
+                    name="cpu",
+                    pu_type=PUType.CPU,
+                    cores=4,
+                    frequency_mhz=1000.0,
+                    flops_per_cycle_per_core=4.0,
+                    max_bw=20.0,
+                    mlp_lines=100.0,
+                ),
+            ),
+            memory=MemorySpec(2, 32, 2133.0),
+        )
+        with pytest.raises(PredictionError):
+            FrequencyExplorer(lonely, "cpu", lambda: None)
+
+    def test_default_pressure_pu_is_cpu(self, explorer):
+        assert explorer.pressure_pu == "cpu"
+
+
+class TestMeasuredPoints:
+    def test_standalone_speed_flat_while_memory_bound(self, explorer):
+        """streamcluster is memory-bound at the top GPU clocks, so its
+        standalone speed barely changes between 1100 and 1377 MHz
+        (the paper's Section 4.3 observation)."""
+        points = explorer.measured_points((1100.0, 1377.0), 20.0)
+        s1100, s1377 = (p.standalone_speed for p in points)
+        assert s1100 == pytest.approx(s1377, rel=0.05)
+
+    def test_standalone_speed_drops_below_crossover(self, explorer):
+        points = explorer.measured_points((590.0, 1377.0), 20.0)
+        assert points[0].standalone_speed < points[1].standalone_speed * 0.8
+
+    def test_demand_scales_with_clock_below_crossover(self, explorer):
+        points = explorer.measured_points((590.0, 830.0), 20.0)
+        assert points[0].demand_bw < points[1].demand_bw
+
+    def test_corun_speed_composition(self, explorer):
+        (point,) = explorer.measured_points((830.0,), 40.0)
+        assert point.corun_speed == pytest.approx(
+            point.standalone_speed * point.relative_speed
+        )
+
+
+class TestPredictedPoints:
+    def test_predictions_share_standalone_profile(
+        self, explorer, xavier_gpu_model
+    ):
+        measured = explorer.measured_points(FREQS, 40.0)
+        predicted = explorer.predicted_points(FREQS, 40.0, xavier_gpu_model)
+        for m, p in zip(measured, predicted):
+            assert m.standalone_speed == pytest.approx(p.standalone_speed)
+            assert m.demand_bw == pytest.approx(p.demand_bw)
+
+    def test_explore_returns_selection(self, explorer, xavier_gpu_model):
+        selection = explorer.explore(FREQS, 40.0, 0.2, xavier_gpu_model)
+        assert selection.selected_mhz in FREQS
+        assert selection.kernel_name == "streamcluster"
+        assert selection.point(830.0).frequency_mhz == 830.0
+
+    def test_pccs_close_to_truth(self, explorer, xavier_gpu_model):
+        """Headline Table 9 property at one operating point: the PCCS
+        pick lands within one frequency step of the ground truth."""
+        truth = explorer.explore(FREQS, 40.0, 0.2)
+        pccs = explorer.explore(FREQS, 40.0, 0.2, xavier_gpu_model)
+        idx_truth = FREQS.index(truth.selected_mhz)
+        idx_pccs = FREQS.index(pccs.selected_mhz)
+        assert abs(idx_truth - idx_pccs) <= 1

@@ -1,0 +1,186 @@
+"""Serialization of parameters and calibration matrices."""
+
+import json
+
+import pytest
+
+from repro.core.calibration import CalibrationResult
+from repro.core.io import (
+    calibration_from_dict,
+    calibration_to_dict,
+    load_calibration,
+    load_parameters,
+    parameters_from_dict,
+    parameters_to_dict,
+    save_calibration,
+    save_parameters,
+)
+from repro.core.model import PCCSModel
+from repro.core.parameters import PCCSParameters
+from repro.errors import ConfigurationError
+
+
+def make_params(**overrides) -> PCCSParameters:
+    base = dict(
+        normal_bw=38.0,
+        intensive_bw=96.0,
+        mrmc=0.05,
+        cbp=45.0,
+        tbwdc=87.0,
+        rate_n=0.009,
+        peak_bw=137.0,
+        pu_name="gpu",
+        rate_i_override=0.006,
+    )
+    base.update(overrides)
+    return PCCSParameters(**base)
+
+
+class TestParametersRoundTrip:
+    def test_dict_roundtrip(self):
+        params = make_params()
+        assert parameters_from_dict(parameters_to_dict(params)) == params
+
+    def test_file_roundtrip(self, tmp_path):
+        params = make_params()
+        path = save_parameters(params, tmp_path / "gpu.json")
+        assert load_parameters(path) == params
+
+    def test_none_fields_preserved(self, tmp_path):
+        params = make_params(
+            normal_bw=0.0, mrmc=None, intensive_bw=28.0, rate_i_override=None
+        )
+        path = save_parameters(params, tmp_path / "dla.json")
+        loaded = load_parameters(path)
+        assert loaded.mrmc is None
+        assert loaded.rate_i_override is None
+
+    def test_file_is_reviewable_json(self, tmp_path):
+        path = save_parameters(make_params(), tmp_path / "p.json")
+        data = json.loads(path.read_text())
+        assert data["kind"] == "pccs-parameters"
+        assert data["peak_bw"] == 137.0
+
+    def test_loaded_model_predicts_identically(self, tmp_path):
+        params = make_params()
+        path = save_parameters(params, tmp_path / "p.json")
+        original = PCCSModel(params)
+        loaded = PCCSModel(load_parameters(path))
+        for x, y in ((20.0, 50.0), (60.0, 90.0), (120.0, 30.0)):
+            assert loaded.relative_speed(x, y) == original.relative_speed(x, y)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parameters_from_dict({"kind": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        data = parameters_to_dict(make_params())
+        data["format_version"] = 999
+        with pytest.raises(ConfigurationError):
+            parameters_from_dict(data)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_parameters(tmp_path / "absent.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_parameters(path)
+
+    def test_invalid_values_rejected_on_load(self, tmp_path):
+        data = parameters_to_dict(make_params())
+        data["peak_bw"] = -1.0
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            load_parameters(path)
+
+
+class TestCalibrationRoundTrip:
+    def make_calibration(self):
+        return CalibrationResult(
+            pu_name="gpu",
+            pressure_pu="cpu",
+            std_bw=(10.0, 50.0),
+            ext_bw=(30.0, 70.0, 110.0),
+            rela=((1.0, 0.98, 0.95), (0.99, 0.9, 0.8)),
+        )
+
+    def test_dict_roundtrip(self):
+        calibration = self.make_calibration()
+        assert (
+            calibration_from_dict(calibration_to_dict(calibration))
+            == calibration
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        calibration = self.make_calibration()
+        path = save_calibration(calibration, tmp_path / "cal.json")
+        assert load_calibration(path) == calibration
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibration_from_dict({"kind": "pccs-parameters"})
+
+    def test_construction_from_loaded_matrix(self, tmp_path, xavier_engine):
+        """Full deployment flow: calibrate, save, load, construct."""
+        from repro.core.calibration import (
+            build_pccs_parameters,
+            run_calibration,
+        )
+
+        calibration = run_calibration(
+            xavier_engine,
+            "gpu",
+            demand_levels=[20.0, 45.0, 70.0, 95.0, 120.0],
+            external_levels=[30.0, 60.0, 90.0, 115.0, 136.0],
+        )
+        path = save_calibration(calibration, tmp_path / "cal.json")
+        loaded = load_calibration(path)
+        params = build_pccs_parameters(
+            xavier_engine, "gpu", calibration=loaded
+        )
+        assert params.pu_name == "gpu"
+
+
+class TestCliIntegration:
+    def test_calibrate_save_and_predict_from_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "dla.json"
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "--soc",
+                    "xavier-agx",
+                    "--pu",
+                    "dla",
+                    "--save",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "predict",
+                    "--pu",
+                    "dla",
+                    "--demand",
+                    "25",
+                    "--external",
+                    "60",
+                    "--params",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "relative speed" in out

@@ -1,0 +1,202 @@
+"""PCCSModel: the three-region slowdown equations and their invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import PCCSModel
+from repro.core.parameters import PCCSParameters, Region
+from repro.errors import PredictionError
+
+
+def make_model(**overrides) -> PCCSModel:
+    base = dict(
+        normal_bw=38.0,
+        intensive_bw=96.0,
+        mrmc=0.05,
+        cbp=45.0,
+        tbwdc=87.0,
+        rate_n=0.009,
+        peak_bw=137.0,
+        pu_name="gpu",
+    )
+    anchor = overrides.pop("anchor", "minor")
+    floor = overrides.pop("floor", 0.05)
+    base.update(overrides)
+    return PCCSModel(PCCSParameters(**base), anchor=anchor, floor=floor)
+
+
+class TestConstruction:
+    def test_bad_anchor_rejected(self):
+        with pytest.raises(PredictionError):
+            make_model(anchor="weird")
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(PredictionError):
+            make_model(floor=1.5)
+
+    def test_paper_anchor_accepted(self):
+        make_model(anchor="paper")
+
+
+class TestBoundaryBehaviour:
+    def test_zero_external_is_full_speed(self):
+        assert make_model().relative_speed(60.0, 0.0) == 1.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(PredictionError):
+            make_model().relative_speed(-1.0, 10.0)
+
+    def test_negative_external_rejected(self):
+        with pytest.raises(PredictionError):
+            make_model().relative_speed(10.0, -1.0)
+
+    def test_floor_respected(self):
+        model = make_model(rate_n=0.05)  # absurdly steep
+        rs = model.relative_speed(130.0, 137.0)
+        assert rs == pytest.approx(model.floor)
+
+
+class TestMinorRegion:
+    def test_constant_in_external_demand(self):
+        model = make_model()
+        values = {model.relative_speed(20.0, y) for y in (10, 50, 100, 137)}
+        assert len(values) == 1
+
+    def test_eq2_value(self):
+        model = make_model()
+        p = model.params
+        x = 20.0
+        expected = 1.0 - p.mrmc * x / p.peak_bw
+        assert model.relative_speed(x, 100.0) == pytest.approx(expected)
+
+    def test_heavier_minor_kernel_drops_more(self):
+        model = make_model()
+        assert model.relative_speed(30.0, 100.0) < model.relative_speed(
+            10.0, 100.0
+        )
+
+
+class TestNormalRegion:
+    def test_flat_before_tbwdc(self):
+        model = make_model()
+        x = 60.0  # normal region
+        # x + y below TBWDC=87 -> minor-contention level.
+        assert model.relative_speed(x, 20.0) == pytest.approx(
+            1.0 - 0.05 * x / 137.0
+        )
+
+    def test_drops_beyond_tbwdc(self):
+        model = make_model()
+        assert model.relative_speed(60.0, 40.0) < model.relative_speed(
+            60.0, 20.0
+        )
+
+    def test_flat_beyond_cbp(self):
+        model = make_model()
+        assert model.relative_speed(60.0, 50.0) == pytest.approx(
+            model.relative_speed(60.0, 137.0)
+        )
+
+    def test_eq3_dropping_piece_minor_anchor(self):
+        model = make_model()
+        p = model.params
+        x, y = 60.0, 40.0  # x+y=100 > TBWDC, y < CBP
+        minor = 1.0 - p.mrmc * x / p.peak_bw
+        expected = minor - (x + y - p.tbwdc) * p.rate_n
+        assert model.relative_speed(x, y) == pytest.approx(expected)
+
+    def test_eq3_dropping_piece_paper_anchor(self):
+        model = make_model(anchor="paper")
+        p = model.params
+        x, y = 60.0, 44.0
+        expected = 1.0 - (x + y - p.tbwdc) * p.rate_n
+        minor = 1.0 - p.mrmc * x / p.peak_bw
+        assert model.relative_speed(x, y) == pytest.approx(
+            min(expected, minor)
+        )
+
+    def test_continuous_at_cbp(self):
+        model = make_model()
+        p = model.params
+        below = model.relative_speed(60.0, p.cbp - 1e-6)
+        above = model.relative_speed(60.0, p.cbp + 1e-6)
+        assert below == pytest.approx(above, abs=1e-4)
+
+
+class TestIntensiveRegion:
+    def test_drops_from_small_external(self):
+        model = make_model()
+        assert model.relative_speed(120.0, 10.0) < 1.0
+
+    def test_flat_beyond_cbp(self):
+        model = make_model()
+        assert model.relative_speed(120.0, 60.0) == pytest.approx(
+            model.relative_speed(120.0, 137.0)
+        )
+
+    def test_uses_override_rate_when_present(self):
+        with_override = make_model(rate_i_override=0.001)
+        p = with_override.params
+        x, y = 120.0, 30.0
+        minor = 1.0 - p.mrmc * x / p.peak_bw
+        expected = minor - (x + y - p.tbwdc) * 0.001
+        assert with_override.relative_speed(x, y) == pytest.approx(expected)
+
+    def test_steeper_than_normal_region(self):
+        """At the same external pressure, an intensive kernel loses more."""
+        model = make_model()
+        assert model.relative_speed(120.0, 40.0) < model.relative_speed(
+            60.0, 40.0
+        )
+
+
+class TestInvariants:
+    @given(st.floats(0.0, 140.0), st.floats(0.0, 140.0))
+    @settings(max_examples=200)
+    def test_rs_in_unit_range(self, x, y):
+        rs = make_model().relative_speed(x, y)
+        assert 0.0 < rs <= 1.0
+
+    @given(st.floats(0.0, 140.0), st.floats(0.0, 137.0), st.floats(0.0, 137.0))
+    @settings(max_examples=200)
+    def test_monotone_nonincreasing_in_external(self, x, y1, y2):
+        model = make_model()
+        lo, hi = min(y1, y2), max(y1, y2)
+        if lo == 0.0:
+            return  # y=0 is exactly 1.0 by definition, minor level below
+        assert model.relative_speed(x, hi) <= model.relative_speed(x, lo) + 1e-9
+
+    @given(st.floats(1.0, 137.0))
+    @settings(max_examples=100)
+    def test_paper_anchor_never_below_minor_anchor(self, y):
+        """The literal Eq. 3/5 anchoring at 100% sits at or above the
+        continuous minor-level anchoring, by at most MRMC*x/PBW."""
+        minor = make_model()
+        paper = make_model(anchor="paper")
+        for x in (20.0, 60.0, 120.0):
+            lo = minor.relative_speed(x, y)
+            hi = paper.relative_speed(x, y)
+            assert lo - 1e-9 <= hi <= lo + 0.05 * x / 137.0 + 1e-9
+
+
+class TestPredictAPI:
+    def test_predict_packages_region(self):
+        prediction = make_model().predict(60.0, 40.0)
+        assert prediction.region is Region.NORMAL
+        assert prediction.demand_bw == 60.0
+        assert prediction.external_bw == 40.0
+
+    def test_slowdown_is_reciprocal(self):
+        prediction = make_model().predict(60.0, 40.0)
+        assert prediction.slowdown == pytest.approx(
+            1.0 / prediction.relative_speed
+        )
+
+    def test_curve_lengths(self):
+        curve = make_model().curve(60.0, [10.0, 20.0, 30.0])
+        assert [p.external_bw for p in curve] == [10.0, 20.0, 30.0]
+
+    def test_curve_monotone(self):
+        curve = make_model().curve(60.0, [10.0, 40.0, 60.0, 137.0])
+        speeds = [p.relative_speed for p in curve]
+        assert speeds == sorted(speeds, reverse=True)

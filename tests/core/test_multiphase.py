@@ -1,0 +1,130 @@
+"""Multi-phase prediction (Section 3.2 / Fig. 13)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.model import PCCSModel
+from repro.core.multiphase import (
+    phase_inputs_from_profile,
+    predict_average_bw,
+    predict_multiphase,
+)
+from repro.core.parameters import PCCSParameters
+from repro.errors import PredictionError
+
+
+@pytest.fixture(scope="module")
+def model() -> PCCSModel:
+    return PCCSModel(
+        PCCSParameters(
+            normal_bw=38.0,
+            intensive_bw=96.0,
+            mrmc=0.05,
+            cbp=45.0,
+            tbwdc=87.0,
+            rate_n=0.009,
+            peak_bw=137.0,
+        )
+    )
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self, model):
+        with pytest.raises(PredictionError):
+            predict_multiphase(model, [50.0], [0.5, 0.5], 40.0)
+
+    def test_empty_phases_rejected(self, model):
+        with pytest.raises(PredictionError):
+            predict_multiphase(model, [], [], 40.0)
+
+    def test_weights_must_sum_to_one(self, model):
+        with pytest.raises(PredictionError):
+            predict_multiphase(model, [50.0, 60.0], [0.5, 0.6], 40.0)
+
+    def test_negative_weights_rejected(self, model):
+        with pytest.raises(PredictionError):
+            predict_multiphase(model, [50.0, 60.0], [1.5, -0.5], 40.0)
+
+
+class TestSemantics:
+    def test_single_phase_equals_direct_prediction(self, model):
+        assert predict_multiphase(model, [60.0], [1.0], 40.0) == pytest.approx(
+            model.relative_speed(60.0, 40.0)
+        )
+
+    def test_identical_phases_equal_direct(self, model):
+        assert predict_multiphase(
+            model, [60.0, 60.0], [0.5, 0.5], 40.0
+        ) == pytest.approx(model.relative_speed(60.0, 40.0))
+
+    def test_time_weighted_combination(self, model):
+        """RS combines as a harmonic (time) mean, not an arithmetic one."""
+        demands, weights = [20.0, 120.0], [0.5, 0.5]
+        rs = predict_multiphase(model, demands, weights, 60.0)
+        rs_a = model.relative_speed(20.0, 60.0)
+        rs_b = model.relative_speed(120.0, 60.0)
+        expected = 1.0 / (0.5 / rs_a + 0.5 / rs_b)
+        assert rs == pytest.approx(expected)
+
+    def test_heavy_phase_dominates_under_pressure(self, model):
+        """Mixing in a heavy phase must lower the prediction below the
+        average-BW prediction (the Fig. 13 effect)."""
+        demands, weights = [30.0, 120.0], [0.7, 0.3]
+        piecewise = predict_multiphase(model, demands, weights, 60.0)
+        averaged = predict_average_bw(model, demands, weights, 60.0)
+        assert piecewise < averaged
+
+    def test_zero_external_gives_full_speed(self, model):
+        assert predict_multiphase(model, [30.0, 120.0], [0.5, 0.5], 0.0) == 1.0
+
+    @given(
+        st.lists(st.floats(5.0, 130.0), min_size=1, max_size=5),
+        st.floats(0.0, 137.0),
+    )
+    def test_result_in_unit_range(self, demands, external):
+        model = PCCSModel(
+            PCCSParameters(
+                normal_bw=38.0,
+                intensive_bw=96.0,
+                mrmc=0.05,
+                cbp=45.0,
+                tbwdc=87.0,
+                rate_n=0.009,
+                peak_bw=137.0,
+            )
+        )
+        weights = [1.0 / len(demands)] * len(demands)
+        rs = predict_multiphase(model, demands, weights, external)
+        assert 0.0 < rs <= 1.0
+
+    @given(st.floats(0.0, 137.0))
+    def test_bounded_by_best_and_worst_phase(self, external):
+        model = PCCSModel(
+            PCCSParameters(
+                normal_bw=38.0,
+                intensive_bw=96.0,
+                mrmc=0.05,
+                cbp=45.0,
+                tbwdc=87.0,
+                rate_n=0.009,
+                peak_bw=137.0,
+            )
+        )
+        demands, weights = [20.0, 70.0, 120.0], [0.3, 0.3, 0.4]
+        rs = predict_multiphase(model, demands, weights, external)
+        phase_rs = [model.relative_speed(d, external) for d in demands]
+        assert min(phase_rs) - 1e-9 <= rs <= max(phase_rs) + 1e-9
+
+
+class TestProfileInputs:
+    def test_extraction_from_engine_profile(self, xavier_engine):
+        from repro.workloads.rodinia import rodinia_kernel
+        from repro.soc.spec import PUType
+
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = xavier_engine.profile(cfd, "gpu")
+        demands, weights = phase_inputs_from_profile(profile)
+        assert len(demands) == 4
+        assert sum(weights) == pytest.approx(1.0)
+        # CFD's K1 is the high-bandwidth phase.
+        assert demands[0] == max(demands)

@@ -1,0 +1,162 @@
+"""PCCSParameters: validation, region classification, derived rates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parameters import PCCSParameters, Region
+from repro.errors import ConfigurationError
+
+
+def make_params(**overrides) -> PCCSParameters:
+    base = dict(
+        normal_bw=38.0,
+        intensive_bw=96.0,
+        mrmc=0.05,
+        cbp=45.0,
+        tbwdc=87.0,
+        rate_n=0.009,
+        peak_bw=137.0,
+        pu_name="gpu",
+    )
+    base.update(overrides)
+    return PCCSParameters(**base)
+
+
+class TestValidation:
+    def test_valid_params_accepted(self):
+        make_params()
+
+    def test_negative_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(peak_bw=-1.0)
+
+    def test_zero_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(peak_bw=0.0)
+
+    def test_negative_normal_bw_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(normal_bw=-1.0)
+
+    def test_intensive_below_normal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(normal_bw=50.0, intensive_bw=40.0)
+
+    def test_zero_cbp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(cbp=0.0)
+
+    def test_zero_tbwdc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(tbwdc=0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(rate_n=-0.1)
+
+    def test_mrmc_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(mrmc=1.5)
+
+    def test_negative_rate_i_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params(rate_i_override=-0.5)
+
+    def test_no_minor_region_forbids_mrmc(self):
+        with pytest.raises(ConfigurationError):
+            make_params(normal_bw=0.0, mrmc=0.05)
+
+    def test_dla_style_params_accepted(self):
+        p = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        assert not p.has_minor_region
+
+    def test_frozen(self):
+        p = make_params()
+        with pytest.raises(AttributeError):
+            p.cbp = 50.0
+
+
+class TestRegions:
+    def test_zero_demand_is_minor(self):
+        assert make_params().region_of(0.0) is Region.MINOR
+
+    def test_below_normal_bw_is_minor(self):
+        assert make_params().region_of(20.0) is Region.MINOR
+
+    def test_boundary_is_minor(self):
+        assert make_params().region_of(38.0) is Region.MINOR
+
+    def test_between_boundaries_is_normal(self):
+        assert make_params().region_of(60.0) is Region.NORMAL
+
+    def test_intensive_boundary_is_normal(self):
+        assert make_params().region_of(96.0) is Region.NORMAL
+
+    def test_above_intensive_is_intensive(self):
+        assert make_params().region_of(120.0) is Region.INTENSIVE
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_params().region_of(-5.0)
+
+    def test_no_minor_region_starts_normal(self):
+        p = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        assert p.region_of(1.0) is Region.NORMAL
+
+    @given(st.floats(0.0, 200.0))
+    def test_every_demand_has_exactly_one_region(self, demand):
+        region = make_params().region_of(demand)
+        assert region in (Region.MINOR, Region.NORMAL, Region.INTENSIVE)
+
+    @given(st.floats(0.0, 200.0), st.floats(0.0, 200.0))
+    def test_region_monotone_in_demand(self, a, b):
+        """Higher demand never moves to a *lighter* region."""
+        order = [Region.MINOR, Region.NORMAL, Region.INTENSIVE]
+        lo, hi = min(a, b), max(a, b)
+        p = make_params()
+        assert order.index(p.region_of(hi)) >= order.index(p.region_of(lo))
+
+
+class TestDerived:
+    def test_mrmc_fraction_none_is_zero(self):
+        p = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        assert p.mrmc_fraction == 0.0
+
+    def test_mrmc_fraction_passthrough(self):
+        assert make_params(mrmc=0.04).mrmc_fraction == 0.04
+
+    def test_rate_i_eq4(self):
+        p = make_params()
+        x = 120.0
+        expected = p.rate_n * (x + p.cbp - p.tbwdc) / p.cbp
+        assert p.rate_i(x) == pytest.approx(expected)
+
+    def test_rate_i_never_below_rate_n(self):
+        p = make_params()
+        assert p.rate_i(0.0) >= p.rate_n
+
+    def test_rate_i_override_wins(self):
+        p = make_params(rate_i_override=0.002)
+        assert p.rate_i(120.0) == 0.002
+
+    def test_representative_rate_i_at_boundary(self):
+        p = make_params()
+        assert p.representative_rate_i == pytest.approx(
+            p.rate_i(p.intensive_bw)
+        )
+
+    def test_summary_contains_name_and_na(self):
+        p = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0, pu_name="dla")
+        text = p.summary()
+        assert "dla" in text and "NA" in text
+
+    def test_summary_reports_mrmc_percent(self):
+        assert "5.0%" in make_params(mrmc=0.05).summary()
+
+    def test_max_minor_reduction_none_without_minor_region(self):
+        p = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        assert p.max_minor_reduction is None
+
+    def test_max_minor_reduction_aliases_mrmc(self):
+        p = make_params(mrmc=0.04)
+        assert p.max_minor_reduction == 0.04

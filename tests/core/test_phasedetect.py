@@ -1,0 +1,100 @@
+"""Phase detection from bandwidth series."""
+
+import pytest
+
+from repro.core.multiphase import predict_multiphase
+from repro.core.phasedetect import (
+    detect_phases,
+    phases_to_inputs,
+    sample_demand_series,
+)
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+
+class TestDetect:
+    def test_constant_series_single_phase(self):
+        phases = detect_phases([50.0] * 20)
+        assert len(phases) == 1
+        assert phases[0].mean_demand == pytest.approx(50.0)
+        assert phases[0].length == 20
+
+    def test_two_level_series(self):
+        samples = [90.0] * 10 + [45.0] * 10
+        phases = detect_phases(samples)
+        assert len(phases) == 2
+        assert phases[0].mean_demand == pytest.approx(90.0)
+        assert phases[1].mean_demand == pytest.approx(45.0)
+        assert phases[0].end_index == 10
+
+    def test_three_level_series(self):
+        samples = [90.0] * 8 + [45.0] * 12 + [70.0] * 10
+        phases = detect_phases(samples)
+        assert [round(p.mean_demand) for p in phases] == [90, 45, 70]
+
+    def test_single_sample_noise_ignored(self):
+        samples = [50.0] * 10 + [80.0] + [50.0] * 10
+        phases = detect_phases(samples, persistence=2)
+        assert len(phases) == 1
+
+    def test_similar_adjacent_phases_merged(self):
+        samples = [50.0] * 10 + [52.0] * 10
+        phases = detect_phases(samples, threshold=0.15)
+        assert len(phases) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            detect_phases([])
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(PredictionError):
+            detect_phases([1.0], threshold=0.0)
+
+    def test_weights_sum_to_one(self):
+        samples = [90.0] * 5 + [45.0] * 15
+        demands, weights = phases_to_inputs(detect_phases(samples))
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.75)
+
+
+class TestEndToEnd:
+    def test_cfd_series_has_multiple_phases(self, xavier_engine):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = xavier_engine.profile(cfd, "gpu")
+        samples = sample_demand_series(profile, n_samples=200)
+        phases = detect_phases(samples)
+        assert 2 <= len(phases) <= 4  # K1 high-BW + medium K2-K4 cluster
+
+    def test_detected_phases_match_true_prediction(
+        self, xavier_engine, xavier_gpu_model
+    ):
+        """Predicting from *detected* phases must agree closely with
+        predicting from the program's true phase structure."""
+        from repro.core.multiphase import phase_inputs_from_profile
+
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = xavier_engine.profile(cfd, "gpu")
+        true_demands, true_weights = phase_inputs_from_profile(profile)
+        detected = detect_phases(sample_demand_series(profile, 400))
+        det_demands, det_weights = phases_to_inputs(detected)
+        for external in (30.0, 60.0, 100.0):
+            truth = predict_multiphase(
+                xavier_gpu_model, true_demands, true_weights, external
+            )
+            estimated = predict_multiphase(
+                xavier_gpu_model, det_demands, det_weights, external
+            )
+            assert estimated == pytest.approx(truth, abs=0.03)
+
+    def test_single_phase_kernel_detected_as_one(self, xavier_engine):
+        srad = rodinia_kernel("srad", PUType.GPU)
+        profile = xavier_engine.profile(srad, "gpu")
+        phases = detect_phases(sample_demand_series(profile, 100))
+        assert len(phases) == 1
+
+    def test_sample_count_validated(self, xavier_engine):
+        srad = rodinia_kernel("srad", PUType.GPU)
+        profile = xavier_engine.profile(srad, "gpu")
+        with pytest.raises(PredictionError):
+            sample_demand_series(profile, 0)

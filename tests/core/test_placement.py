@@ -1,0 +1,134 @@
+"""Placement search (the Fig. 1 design problem)."""
+
+import pytest
+
+from repro.core.placement import (
+    PlacementCandidate,
+    Task,
+    best_placement,
+    enumerate_placements,
+    search_placements,
+)
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_model
+from repro.workloads.rodinia import rodinia_kernel
+
+
+def cpu_gpu_task(name: str) -> Task:
+    return Task(
+        name=name,
+        variants={
+            "cpu": rodinia_kernel(name, PUType.CPU),
+            "gpu": rodinia_kernel(name, PUType.GPU),
+        },
+    )
+
+
+def dla_task(model_name: str) -> Task:
+    return Task(name=model_name, variants={"dla": dnn_model(model_name)})
+
+
+@pytest.fixture(scope="module")
+def av_tasks():
+    return [
+        cpu_gpu_task("streamcluster"),
+        cpu_gpu_task("srad"),
+        dla_task("resnet50"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def models(xavier_engine, xavier_cpu_model, xavier_gpu_model, xavier_dla_params):
+    from repro.core.model import PCCSModel
+
+    return {
+        "cpu": xavier_cpu_model,
+        "gpu": xavier_gpu_model,
+        "dla": PCCSModel(xavier_dla_params),
+    }
+
+
+class TestEnumerate:
+    def test_respects_variant_support(self, av_tasks):
+        assignments = enumerate_placements(av_tasks, ("cpu", "gpu", "dla"))
+        # resnet50 only runs on the DLA; the two Rodinia tasks swap
+        # between CPU and GPU: exactly 2 feasible placements.
+        assert len(assignments) == 2
+        for assignment in assignments:
+            assert assignment["resnet50"] == "dla"
+
+    def test_too_many_tasks_rejected(self):
+        tasks = [cpu_gpu_task("srad"), cpu_gpu_task("kmeans")]
+        with pytest.raises(PredictionError):
+            enumerate_placements(tasks, ("cpu",))
+
+    def test_duplicate_task_names_rejected(self):
+        tasks = [cpu_gpu_task("srad"), cpu_gpu_task("srad")]
+        with pytest.raises(PredictionError):
+            enumerate_placements(tasks, ("cpu", "gpu"))
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(PredictionError):
+            Task(name="t", variants={})
+
+
+class TestSearch:
+    def test_candidates_sorted_by_objective(
+        self, xavier_engine, models, av_tasks
+    ):
+        candidates = search_placements(xavier_engine, models, av_tasks)
+        speeds = [c.worst_speed for c in candidates]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_makespan_objective(self, xavier_engine, models, av_tasks):
+        candidates = search_placements(
+            xavier_engine, models, av_tasks, objective="makespan"
+        )
+        spans = [c.makespan for c in candidates]
+        assert spans == sorted(spans)
+
+    def test_best_placement_is_first(self, xavier_engine, models, av_tasks):
+        best = best_placement(xavier_engine, models, av_tasks)
+        all_candidates = search_placements(xavier_engine, models, av_tasks)
+        assert best == all_candidates[0]
+
+    def test_unknown_objective_rejected(
+        self, xavier_engine, models, av_tasks
+    ):
+        with pytest.raises(PredictionError):
+            search_placements(
+                xavier_engine, models, av_tasks, objective="vibes"
+            )
+
+    def test_infeasible_set_rejected(self, xavier_engine, models):
+        tasks = [dla_task("resnet50"), dla_task("vgg19")]  # both need DLA
+        with pytest.raises(PredictionError):
+            search_placements(xavier_engine, models, tasks)
+
+    def test_candidate_accessors(self, xavier_engine, models, av_tasks):
+        best = best_placement(xavier_engine, models, av_tasks)
+        assert best.pu_of("resnet50") == "dla"
+        with pytest.raises(PredictionError):
+            best.pu_of("nonexistent")
+
+    def test_prediction_matches_ground_truth_ranking(
+        self, xavier_engine, models, av_tasks
+    ):
+        """The predicted-best placement must actually be at least as
+        good as the predicted-worst when simulated."""
+        candidates = search_placements(xavier_engine, models, av_tasks)
+        task_by_name = {t.name: t for t in av_tasks}
+
+        def measured_worst(candidate):
+            placements = {
+                pu: task_by_name[task].variants[pu]
+                for task, pu in candidate.assignment
+            }
+            result = xavier_engine.corun(placements, until="first")
+            return min(o.relative_speed for o in result.outcomes)
+
+        assert (
+            measured_worst(candidates[0])
+            >= measured_worst(candidates[-1]) - 0.03
+        )

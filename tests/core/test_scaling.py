@@ -1,0 +1,124 @@
+"""Linear bandwidth scaling (Section 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parameters import PCCSParameters
+from repro.core.scaling import bandwidth_ratio, scale_parameters, scaling_errors
+from repro.errors import ConfigurationError
+
+
+def make_params(**overrides) -> PCCSParameters:
+    base = dict(
+        normal_bw=38.0,
+        intensive_bw=96.0,
+        mrmc=0.05,
+        cbp=45.0,
+        tbwdc=87.0,
+        rate_n=0.009,
+        peak_bw=137.0,
+        rate_i_override=0.006,
+    )
+    base.update(overrides)
+    return PCCSParameters(**base)
+
+
+class TestBandwidthRatio:
+    def test_frequency_only(self):
+        assert bandwidth_ratio(2133.0, 1066.5) == pytest.approx(0.5)
+
+    def test_channels_only(self):
+        assert bandwidth_ratio(1000.0, 1000.0, 8, 4) == pytest.approx(0.5)
+
+    def test_combined(self):
+        assert bandwidth_ratio(2000.0, 1000.0, 4, 8) == pytest.approx(1.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_ratio(0.0, 1000.0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_ratio(1000.0, 1000.0, 0, 4)
+
+
+class TestScaleParameters:
+    def test_bandwidth_fields_scale_linearly(self):
+        p = make_params()
+        s = scale_parameters(p, 0.5)
+        assert s.normal_bw == pytest.approx(p.normal_bw * 0.5)
+        assert s.intensive_bw == pytest.approx(p.intensive_bw * 0.5)
+        assert s.cbp == pytest.approx(p.cbp * 0.5)
+        assert s.tbwdc == pytest.approx(p.tbwdc * 0.5)
+        assert s.peak_bw == pytest.approx(p.peak_bw * 0.5)
+
+    def test_mrmc_unchanged(self):
+        p = make_params()
+        assert scale_parameters(p, 0.5).mrmc == p.mrmc
+
+    def test_rates_scale_inversely(self):
+        p = make_params()
+        s = scale_parameters(p, 0.5)
+        assert s.rate_n == pytest.approx(p.rate_n * 2.0)
+        assert s.rate_i_override == pytest.approx(p.rate_i_override * 2.0)
+
+    def test_none_override_stays_none(self):
+        p = make_params(rate_i_override=None)
+        assert scale_parameters(p, 0.5).rate_i_override is None
+
+    def test_identity_ratio(self):
+        p = make_params()
+        s = scale_parameters(p, 1.0)
+        assert s == p
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ConfigurationError):
+            scale_parameters(make_params(), 0.0)
+
+    @given(st.floats(0.2, 5.0))
+    def test_roundtrip(self, ratio):
+        p = make_params()
+        back = scale_parameters(scale_parameters(p, ratio), 1.0 / ratio)
+        assert back.normal_bw == pytest.approx(p.normal_bw)
+        assert back.rate_n == pytest.approx(p.rate_n)
+        assert back.peak_bw == pytest.approx(p.peak_bw)
+
+    @given(st.floats(0.2, 5.0))
+    def test_shape_preserved_in_normalized_coordinates(self, ratio):
+        """RS at proportionally scaled (x, y) is invariant."""
+        from repro.core.model import PCCSModel
+
+        p = make_params()
+        s = scale_parameters(p, ratio)
+        original = PCCSModel(p)
+        scaled = PCCSModel(s)
+        for x, y in ((20.0, 50.0), (60.0, 40.0), (120.0, 100.0)):
+            assert scaled.relative_speed(
+                x * ratio, y * ratio
+            ) == pytest.approx(original.relative_speed(x, y), abs=1e-9)
+
+
+class TestScalingErrors:
+    def test_identical_params_zero_error(self):
+        p = make_params()
+        errors = scaling_errors(p, p)
+        assert all(e == pytest.approx(0.0) for e in errors.values())
+
+    def test_known_relative_error(self):
+        a = make_params()
+        b = make_params(cbp=90.0)
+        assert scaling_errors(a, b)["cbp"] == pytest.approx(0.5)
+
+    def test_mrmc_absolute_comparison(self):
+        a = make_params(mrmc=0.05)
+        b = make_params(mrmc=0.03)
+        assert scaling_errors(a, b)["mrmc"] == pytest.approx(0.02)
+
+    def test_mrmc_skipped_when_absent(self):
+        a = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        b = make_params(normal_bw=0.0, mrmc=None, intensive_bw=28.0)
+        assert "mrmc" not in scaling_errors(a, b)
+
+    def test_covers_all_bandwidth_parameters(self):
+        keys = set(scaling_errors(make_params(), make_params()))
+        assert {"normal_bw", "intensive_bw", "cbp", "tbwdc", "rate_n", "rate_i"} <= keys

@@ -1,0 +1,101 @@
+"""The Fig. 7 placement-prediction workflow."""
+
+import pytest
+
+from repro.baselines.gables import GablesModel
+from repro.core.workflow import build_soc_models, predict_placement
+from repro.errors import PredictionError
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_model
+from repro.workloads.rodinia import rodinia_kernel
+
+
+@pytest.fixture(scope="module")
+def models(xavier_gpu_model, xavier_cpu_model, xavier_dla_params):
+    from repro.core.model import PCCSModel
+
+    return {
+        "gpu": xavier_gpu_model,
+        "cpu": xavier_cpu_model,
+        "dla": PCCSModel(xavier_dla_params),
+    }
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return {
+        "cpu": rodinia_kernel("streamcluster", PUType.CPU),
+        "gpu": rodinia_kernel("pathfinder", PUType.GPU),
+        "dla": dnn_model("resnet50"),
+    }
+
+
+class TestPredictPlacement:
+    def test_one_prediction_per_pu(self, xavier_engine, models, placement):
+        result = predict_placement(xavier_engine, models, placement)
+        assert {p.pu_name for p in result.predictions} == {"cpu", "gpu", "dla"}
+
+    def test_external_is_sum_of_others(self, xavier_engine, models, placement):
+        result = predict_placement(xavier_engine, models, placement)
+        demands = {p.pu_name: p.demand_bw for p in result.predictions}
+        for p in result.predictions:
+            expected = sum(
+                d for name, d in demands.items() if name != p.pu_name
+            )
+            assert p.external_bw == pytest.approx(expected)
+
+    def test_speeds_are_fractions(self, xavier_engine, models, placement):
+        result = predict_placement(xavier_engine, models, placement)
+        for p in result.predictions:
+            assert 0.0 < p.relative_speed <= 1.0
+
+    def test_accessors(self, xavier_engine, models, placement):
+        result = predict_placement(xavier_engine, models, placement)
+        assert result.for_pu("gpu").kernel_name == "pathfinder"
+        assert result.relative_speed("gpu") == result.for_pu("gpu").relative_speed
+        with pytest.raises(PredictionError):
+            result.for_pu("npu")
+
+    def test_missing_model_rejected(self, xavier_engine, placement):
+        with pytest.raises(PredictionError):
+            predict_placement(xavier_engine, {}, placement)
+
+    def test_empty_placement_rejected(self, xavier_engine, models):
+        with pytest.raises(PredictionError):
+            predict_placement(xavier_engine, models, {})
+
+    def test_gables_models_also_work(self, xavier_engine, placement):
+        gables = GablesModel(xavier_engine.soc.peak_bw)
+        models = {pu: gables for pu in ("cpu", "gpu", "dla")}
+        result = predict_placement(xavier_engine, models, placement)
+        assert len(result.predictions) == 3
+
+    def test_multiphase_toggle_changes_dla_prediction(
+        self, xavier_engine, models, placement
+    ):
+        with_phases = predict_placement(
+            xavier_engine, models, placement, multiphase=True
+        )
+        without = predict_placement(
+            xavier_engine, models, placement, multiphase=False
+        )
+        # resnet50 has phases of varying demand; predictions must differ.
+        assert with_phases.relative_speed("dla") != pytest.approx(
+            without.relative_speed("dla"), abs=1e-6
+        )
+
+    def test_single_pu_placement_has_zero_external(
+        self, xavier_engine, models
+    ):
+        placement = {"gpu": rodinia_kernel("srad", PUType.GPU)}
+        result = predict_placement(xavier_engine, models, placement)
+        assert result.for_pu("gpu").external_bw == 0.0
+        assert result.relative_speed("gpu") == 1.0
+
+
+class TestBuildSocModels:
+    def test_builds_model_per_pu(self, xavier_engine):
+        models = build_soc_models(xavier_engine)
+        assert set(models) == {"cpu", "gpu", "dla"}
+        for pu, model in models.items():
+            assert model.params.pu_name == pu

@@ -1,0 +1,80 @@
+"""Address mapping: channel interleave, XOR bank hash."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DDR4_3200, DramTiming
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def mapper() -> AddressMapper:
+    return AddressMapper(DDR4_3200)
+
+
+class TestDecode:
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ConfigurationError):
+            mapper.decode(-64)
+
+    def test_consecutive_lines_interleave_channels(self, mapper):
+        channels = [mapper.decode(i * 64).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_coordinates(self, mapper):
+        a = mapper.decode(0x12345)
+        b = mapper.decode(0x12345 // 64 * 64)
+        assert a == b
+
+    def test_column_advances_within_channel(self, mapper):
+        # Lines 0 and 4 are the same channel, consecutive columns.
+        a = mapper.decode(0)
+        b = mapper.decode(4 * 64)
+        assert a.channel == b.channel
+        assert b.column == a.column + 1
+        assert b.bank == a.bank and b.row == a.row
+
+    def test_row_capacity(self, mapper):
+        """One (channel, bank, row) holds row_bytes of data: 64 columns."""
+        assert 1 << mapper.column_bits == DDR4_3200.row_bytes // 64
+
+    def test_xor_hash_spreads_rows_across_banks(self, mapper):
+        """The same bank bits with different rows map to different banks."""
+        stride = 64 * DDR4_3200.channels * (DDR4_3200.row_bytes // 64)
+        row_stride = stride * DDR4_3200.banks_per_channel
+        banks = {mapper.decode(r * row_stride).bank for r in range(8)}
+        assert len(banks) == 8  # XOR hash: each row lands elsewhere
+
+    @given(st.integers(0, 2**40))
+    def test_coordinates_in_range(self, address):
+        mapper = AddressMapper(DDR4_3200)
+        d = mapper.decode(address)
+        assert 0 <= d.channel < DDR4_3200.channels
+        assert 0 <= d.bank < DDR4_3200.banks_per_channel
+        assert 0 <= d.column < (1 << mapper.column_bits)
+        assert d.row >= 0
+
+    @given(st.integers(0, 2**36), st.integers(0, 2**36))
+    def test_decode_injective_per_line(self, a, b):
+        """Distinct lines never collide on full coordinates."""
+        mapper = AddressMapper(DDR4_3200)
+        la, lb = a // 64, b // 64
+        if la == lb:
+            return
+        da, db = mapper.decode(la * 64), mapper.decode(lb * 64)
+        assert (da.channel, da.bank, da.row, da.column) != (
+            db.channel,
+            db.bank,
+            db.row,
+            db.column,
+        )
+
+
+class TestGeometryValidation:
+    def test_non_power_of_two_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(DramTiming(channels=3))
+
+    def test_line_stride(self, mapper):
+        assert mapper.line_stride == 64

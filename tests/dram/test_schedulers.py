@@ -1,0 +1,212 @@
+"""Scheduling policies: selection rules on crafted queues."""
+
+import pytest
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+from repro.dram.schedulers import (
+    FAIRNESS_POLICIES,
+    available_policies,
+    make_scheduler,
+)
+from repro.dram.schedulers.atlas import AtlasScheduler
+from repro.dram.schedulers.fcfs import FCFSScheduler
+from repro.dram.schedulers.frfcfs import FRFCFSScheduler
+from repro.dram.schedulers.sms import SMSScheduler
+from repro.dram.schedulers.tcm import TCMScheduler
+from repro.dram.timing import DDR4_3200
+from repro.errors import ConfigurationError
+
+
+def req(req_id, core=0, bank=0, row=0, arrival=0.0):
+    return Request(
+        req_id=req_id,
+        core=core,
+        channel=0,
+        bank=bank,
+        row=row,
+        arrival_ns=arrival,
+    )
+
+
+@pytest.fixture()
+def channel() -> ChannelState:
+    return ChannelState(index=0, timing=DDR4_3200)
+
+
+class TestRegistry:
+    def test_all_five_policies(self):
+        assert set(available_policies()) == {
+            "fcfs",
+            "frfcfs",
+            "atlas",
+            "tcm",
+            "sms",
+        }
+
+    def test_fairness_subset(self):
+        assert set(FAIRNESS_POLICIES) == {"atlas", "tcm", "sms"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("lifo", 16)
+
+    def test_make_by_name(self):
+        assert isinstance(make_scheduler("fcfs", 16), FCFSScheduler)
+        assert isinstance(make_scheduler("sms", 16), SMSScheduler)
+
+
+class TestFCFS:
+    def test_strictly_oldest(self, channel):
+        sched = FCFSScheduler(4)
+        queue = [req(1, arrival=5.0), req(0, arrival=1.0), req(2, arrival=9.0)]
+        assert sched.select(queue, channel, 10.0).req_id == 0
+
+    def test_ignores_row_hits(self, channel):
+        channel.dispatch(req(99, bank=0, row=7), 0.0)
+        sched = FCFSScheduler(4)
+        hit = req(1, bank=0, row=7, arrival=5.0)
+        miss = req(0, bank=0, row=3, arrival=1.0)
+        assert sched.select([hit, miss], channel, 10.0) is miss
+
+
+class TestFRFCFS:
+    def test_prefers_row_hits(self, channel):
+        channel.dispatch(req(99, bank=0, row=7), 0.0)
+        sched = FRFCFSScheduler(4)
+        hit = req(1, bank=0, row=7, arrival=5.0)
+        miss = req(0, bank=0, row=3, arrival=1.0)
+        assert sched.select([hit, miss], channel, 10.0) is hit
+
+    def test_oldest_among_hits(self, channel):
+        channel.dispatch(req(99, bank=0, row=7), 0.0)
+        sched = FRFCFSScheduler(4)
+        hits = [req(2, bank=0, row=7, arrival=8.0), req(1, bank=0, row=7, arrival=5.0)]
+        assert sched.select(hits, channel, 10.0).req_id == 1
+
+    def test_falls_back_to_oldest(self, channel):
+        sched = FRFCFSScheduler(4)
+        queue = [req(1, row=4, arrival=3.0), req(0, row=9, arrival=1.0)]
+        assert sched.select(queue, channel, 10.0).req_id == 0
+
+
+class TestATLAS:
+    def test_prefers_least_attained_core(self, channel):
+        sched = AtlasScheduler(2)
+        sched.attained = [10.0, 0.0]
+        queue = [
+            req(0, core=0, bank=0, row=1, arrival=1.0),
+            req(1, core=1, bank=1, row=2, arrival=5.0),
+        ]
+        assert sched.select(queue, channel, 10.0).core == 1
+
+    def test_over_threshold_first(self, channel):
+        sched = AtlasScheduler(2)
+        sched.attained = [10.0, 0.0]
+        starved = req(0, core=0, bank=0, row=1, arrival=0.0)
+        fresh = req(1, core=1, bank=1, row=2, arrival=9_999.0)
+        assert sched.select([starved, fresh], channel, 10_000.0) is starved
+
+    def test_dispatch_accumulates_service(self, channel):
+        sched = AtlasScheduler(2)
+        sched.on_dispatch(req(0, core=1), 10.0)
+        assert sched.attained[1] > sched.attained[0]
+
+    def test_quantum_decay(self, channel):
+        sched = AtlasScheduler(2)
+        sched.attained = [8.0, 0.0]
+        sched._tick(25_000.0)  # two quanta
+        assert sched.attained[0] == pytest.approx(8.0 * 0.875**2)
+
+
+class TestTCM:
+    def test_latency_cluster_first(self, channel):
+        sched = TCMScheduler(2)
+        sched.latency_cluster = {1}
+        sched.rank = [0, -1]
+        queue = [
+            req(0, core=0, bank=0, row=1, arrival=1.0),
+            req(1, core=1, bank=1, row=2, arrival=5.0),
+        ]
+        assert sched.select(queue, channel, 10.0).core == 1
+
+    def test_reclassification_uses_traffic(self, channel):
+        sched = TCMScheduler(2)
+        for _ in range(100):
+            sched.on_dispatch(req(0, core=0), 10.0)
+        sched._reclassify()
+        # Core 1 used nothing: it belongs to the latency cluster.
+        assert 1 in sched.latency_cluster
+        assert 0 not in sched.latency_cluster
+
+    def test_bandwidth_cluster_ranked(self, channel):
+        sched = TCMScheduler(3)
+        sched.latency_cluster = set()
+        sched.rank = [2, 0, 1]
+        queue = [
+            req(0, core=0, bank=0, row=1, arrival=1.0),
+            req(1, core=1, bank=1, row=2, arrival=5.0),
+            req(2, core=2, bank=2, row=3, arrival=2.0),
+        ]
+        assert sched.select(queue, channel, 10.0).core == 1
+
+
+class TestSMS:
+    def test_sticky_batch(self, channel):
+        sched = SMSScheduler(2, seed=1)
+        queue = [
+            req(0, core=0, bank=0, row=1, arrival=0.0),
+            req(1, core=0, bank=0, row=1, arrival=1.0),
+            req(2, core=1, bank=1, row=2, arrival=0.5),
+        ]
+        first = sched.select(queue, channel, 10.0)
+        queue.remove(first)
+        second = sched.select(queue, channel, 10.0)
+        # Whoever was chosen first, the same core's batch continues if
+        # it still has same-row requests queued.
+        if first.core == 0:
+            assert second.core == 0 and second.row == 1
+
+    def test_batch_capped(self):
+        requests = [req(i, core=0, bank=0, row=1, arrival=i) for i in range(20)]
+        batch = SMSScheduler._head_batch(requests)
+        assert len(batch) == 8
+
+    def test_head_batch_stops_at_row_change(self):
+        requests = [
+            req(0, core=0, bank=0, row=1, arrival=0.0),
+            req(1, core=0, bank=0, row=1, arrival=1.0),
+            req(2, core=0, bank=0, row=2, arrival=2.0),
+        ]
+        batch = SMSScheduler._head_batch(requests)
+        assert [r.req_id for r in batch] == [0, 1]
+
+    def test_deterministic_given_seed(self, channel):
+        queue = [
+            req(0, core=0, bank=0, row=1, arrival=0.0),
+            req(1, core=1, bank=1, row=2, arrival=0.5),
+        ]
+        a = SMSScheduler(2, seed=42).select(list(queue), channel, 10.0)
+        b = SMSScheduler(2, seed=42).select(list(queue), channel, 10.0)
+        assert a.req_id == b.req_id
+
+
+class TestReadySubset:
+    def test_prefers_ready_requests(self, channel):
+        from repro.dram.schedulers.base import Scheduler
+
+        channel.dispatch(req(99, bank=0, row=7), 0.0)
+        now = channel.bus_free_at
+        blocked = req(0, bank=0, row=3, arrival=0.0)  # conflict: slow
+        ready = req(1, bank=1, row=5, arrival=0.0)  # idle bank: fast
+        subset = Scheduler.ready_subset([blocked, ready], channel, now)
+        assert subset == [ready]
+
+    def test_falls_back_to_all_when_none_ready(self, channel):
+        from repro.dram.schedulers.base import Scheduler
+
+        channel.dispatch(req(99, bank=0, row=7), 0.0)
+        now = channel.bus_free_at
+        blocked = req(0, bank=0, row=3, arrival=0.0)
+        subset = Scheduler.ready_subset([blocked], channel, now)
+        assert subset == [blocked]

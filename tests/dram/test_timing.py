@@ -1,0 +1,47 @@
+"""DRAM timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DDR4_3200, DramTiming
+from repro.errors import ConfigurationError
+
+
+class TestDDR4Defaults:
+    def test_peak_bandwidth_matches_table1(self):
+        # Table 1: 4 channels, 64-bit, DDR4-3200 -> 102.4 GB/s.
+        assert DDR4_3200.peak_bw_gbps == pytest.approx(102.4)
+
+    def test_total_banks(self):
+        assert DDR4_3200.total_banks == 32
+
+    def test_row_miss_penalty(self):
+        assert DDR4_3200.row_miss_penalty_ns == pytest.approx(27.5)
+
+    def test_burst_time(self):
+        # BL8 on a 64-bit bus: 64 bytes in 4 DRAM clocks at 0.625 ns.
+        assert DDR4_3200.t_burst_ns == pytest.approx(2.5)
+
+    def test_request_buffer_matches_table1(self):
+        assert DDR4_3200.request_buffer == 256
+
+
+class TestValidation:
+    def test_zero_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(t_cas_ns=0.0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(channels=0)
+
+    def test_row_bytes_multiple_of_line(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(row_bytes=100)
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(request_buffer=0)
+
+    def test_custom_timing_peak(self):
+        two_channel = DramTiming(channels=2)
+        assert two_channel.peak_bw_gbps == pytest.approx(51.2)

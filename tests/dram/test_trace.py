@@ -1,0 +1,109 @@
+"""Trace-driven DRAM traffic."""
+
+import pytest
+
+from repro.dram.system import CMPSystem
+from repro.dram.trace import (
+    MemoryTrace,
+    TraceRecord,
+    random_trace,
+    strided_trace,
+    streaming_trace,
+    trace_core_config,
+)
+from repro.errors import ConfigurationError
+
+N = 800
+
+
+class TestGenerators:
+    def test_streaming_addresses_sequential(self):
+        trace = streaming_trace("s", 10, 10.0, base=128)
+        addrs = trace.addresses()
+        assert addrs[0] == 128
+        assert all(b - a == 64 for a, b in zip(addrs, addrs[1:]))
+
+    def test_strided_spacing(self):
+        trace = strided_trace("st", 5, 10.0, stride_lines=4)
+        addrs = trace.addresses()
+        assert all(b - a == 256 for a, b in zip(addrs, addrs[1:]))
+
+    def test_random_within_footprint(self):
+        trace = random_trace("r", 100, 10.0, footprint_bytes=1 << 16)
+        assert all(0 <= a < (1 << 16) for a in trace.addresses())
+
+    def test_random_deterministic_by_seed(self):
+        a = random_trace("r", 50, 10.0, seed=3)
+        b = random_trace("r", 50, 10.0, seed=3)
+        assert a.addresses() == b.addresses()
+
+    def test_write_fraction(self):
+        trace = streaming_trace("s", 100, 10.0, write_fraction=0.25)
+        assert trace.write_fraction == pytest.approx(0.25)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTrace("e", (), 10.0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecord(address=-64)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strided_trace("st", 5, 10.0, stride_lines=0)
+
+
+class TestReplay:
+    def test_config_from_trace(self):
+        trace = streaming_trace("s", N, 20.0)
+        cfg = trace_core_config(trace)
+        assert cfg.total_requests == N
+        assert cfg.demand_gbps == 20.0
+
+    def test_trace_shorter_than_requests_rejected(self):
+        from repro.dram.cores import CoreConfig
+
+        trace = streaming_trace("s", 10, 20.0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(demand_gbps=20.0, total_requests=50, trace=trace)
+
+    def test_streaming_trace_high_locality(self):
+        system = CMPSystem(policy="frfcfs")
+        cfg = trace_core_config(streaming_trace("s", N, 40.0))
+        result = system.run([cfg])
+        assert result.row_hit_rate > 0.9
+        assert result.cores[0].completed == N
+
+    def test_random_trace_poor_locality(self):
+        """The BFS-style pattern: random lines thrash row buffers."""
+        system = CMPSystem(policy="frfcfs")
+        cfg = trace_core_config(random_trace("r", N, 40.0))
+        result = system.run([cfg])
+        assert result.row_hit_rate < 0.3
+
+    def test_random_trace_lower_throughput(self):
+        system = CMPSystem(policy="frfcfs")
+        stream_result = system.run(
+            [trace_core_config(streaming_trace("s", N, 80.0))]
+        )
+        random_result = system.run(
+            [trace_core_config(random_trace("r", N, 80.0))]
+        )
+        assert (
+            random_result.effective_bw_gbps
+            < stream_result.effective_bw_gbps
+        )
+
+    def test_trace_writes_replayed(self):
+        system = CMPSystem()
+        trace = streaming_trace("s", N, 20.0, write_fraction=0.25)
+        result = system.run([trace_core_config(trace)])
+        assert result.cores[0].completed == N
+
+    def test_mixed_trace_and_synthetic_cores(self):
+        system = CMPSystem(policy="atlas")
+        trace_cfg = trace_core_config(random_trace("r", N, 30.0))
+        synthetic = system.group_configs(30.0, 2, N, index_offset=1)
+        result = system.run([trace_cfg] + synthetic)
+        assert all(c.completed == N for c in result.cores)

@@ -1,0 +1,45 @@
+"""Configuration tables (Tables 1, 2, 6) rendered from live objects."""
+
+import pytest
+
+from repro.experiments.config_tables import run_config_tables
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_config_tables()
+
+
+class TestTable1:
+    def test_ddr4_configuration(self, result):
+        assert "256-entry request buffer" in result.table1
+        assert "XOR-based" in result.table1
+        assert "102.4 GB/s" in result.table1
+        assert "4K-byte row buffer" in result.table1
+
+
+class TestTable2:
+    def test_all_five_policies(self, result):
+        for policy in ("fcfs", "frfcfs", "atlas", "tcm", "sms"):
+            assert policy in result.table2
+
+    def test_descriptions_match_paper(self, result):
+        assert "chronologically" in result.table2
+        assert "row-hit" in result.table2
+        assert "least-attained-service" in result.table2
+        assert "round-robin" in result.table2
+
+
+class TestTable6:
+    def test_xavier_entries(self, result):
+        assert "2265 MHz" in result.table6  # Carmel CPU clock
+        assert "1377 MHz" in result.table6  # Volta GPU clock
+        assert "136.5 GB/s" in result.table6
+
+    def test_snapdragon_entries(self, result):
+        assert "1800 MHz" in result.table6  # Kryo CPU clock
+        assert "34.1 GB/s" in result.table6
+
+    def test_render_combines_all(self, result):
+        text = result.render()
+        assert "Table 1" in text and "Table 2" in text and "Table 6" in text

@@ -1,0 +1,245 @@
+"""Experiment modules at reduced scale: structure and key properties.
+
+Full-scale regeneration lives in ``benchmarks/``; these tests check each
+experiment runs, renders, and shows the paper's qualitative signal.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig8_11 import run_validation
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import TABLE8, run_fig14
+from repro.experiments.source_obliviousness import run_source_obliviousness
+from repro.experiments.table5 import run_table5
+from repro.experiments.table7 import run_table7
+from repro.experiments.table9_fig15 import run_table9_fig15
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(steps=5)
+
+    def test_series_per_pu(self, result):
+        assert {s.name for s in result.series} == {"cpu", "gpu", "dla"}
+
+    def test_contention_before_peak(self, result):
+        """The paper's Fig. 2 point: satisfaction drops below 100% while
+        requested + external is still below the DRAM peak."""
+        gpu = next(s for s in result.series if s.name == "gpu")
+        crossover = result.crossover_external_bw("gpu")
+        early = [y for x, y in zip(gpu.x, gpu.y) if x <= crossover + 1e-9]
+        # GPU's demand is near peak, so almost any pressure bites; but
+        # even the CPU (headroom ~40 GB/s) shows early degradation.
+        cpu = next(s for s in result.series if s.name == "cpu")
+        cpu_cross = result.crossover_external_bw("cpu")
+        cpu_early = [y for x, y in zip(cpu.x, cpu.y) if x <= cpu_cross]
+        assert min(cpu_early + early) < 0.98
+
+    def test_dla_mildest(self, result):
+        by_name = {s.name: s for s in result.series}
+        assert by_name["dla"].y[-1] > by_name["gpu"].y[-1]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig 2" in text and "cpu" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(
+            steps=6,
+            panels={"a": (15.0,), "b": (60.0,), "c": (100.0,)},
+        )
+
+    def test_three_panels(self, result):
+        assert len(result.panels) == 3
+
+    def test_low_bw_kernels_barely_slow(self, result):
+        (series,) = result.panel("a")
+        assert min(series.y) > 0.9
+
+    def test_medium_kernels_flat_then_drop(self, result):
+        (series,) = result.panel("b")
+        assert series.y[0] > 0.93  # near-flat start
+        assert min(series.y) < 0.92  # then drops
+
+    def test_high_kernels_drop_immediately(self, result):
+        (series,) = result.panel("c")
+        assert series.y[0] < 0.97
+
+    def test_render(self, result):
+        assert "panel" in result.render()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(steps=8)
+
+    def test_one_series_per_region(self, result):
+        names = [r for _, r in result.regions]
+        assert "minor" in names and "normal" in names and "intensive" in names
+
+    def test_minor_curve_flat(self, result):
+        minor = result.series[0]
+        assert max(minor.y) - min(minor.y) < 0.02
+
+    def test_intensive_lowest(self, result):
+        assert result.series[-1].y[-1] == min(
+            s.y[-1] for s in result.series
+        )
+
+    def test_render(self, result):
+        assert "Fig 6" in result.render()
+
+
+class TestFig8Style:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_validation(
+            "fig8", steps=5, benchmarks=("hotspot", "srad", "pathfinder")
+        )
+
+    def test_pccs_beats_gables(self, result):
+        assert result.pccs_avg_error < result.gables_avg_error
+
+    def test_per_benchmark_data(self, result):
+        srad = result.benchmark("srad")
+        assert len(srad.actual) == 5
+        assert srad.pccs_error >= 0.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "AVERAGE" in text and "srad" in text
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig12(models=("resnet50",), steps=5)
+
+    def test_pccs_beats_gables(self, result):
+        assert result.pccs_avg_error < result.gables_avg_error
+
+    def test_dla_keeps_dropping_late(self, result):
+        """Paper: the DLA keeps slowing until ~70 GB/s external."""
+        net = result.network("resnet50")
+        mid = len(net.actual) // 2
+        assert net.actual[-1] < net.actual[mid] + 0.01
+
+    def test_render(self, result):
+        assert "Fig 12" in result.render()
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13(steps=6)
+
+    def test_piecewise_beats_average(self, result):
+        assert result.piecewise_error < result.average_error
+
+    def test_phase_inputs_recorded(self, result):
+        assert len(result.phase_demands) == 4
+        assert sum(result.phase_weights) == pytest.approx(1.0)
+
+    def test_render(self, result):
+        assert "piecewise" in result.render()
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14(workloads=TABLE8[:3])
+
+    def test_pccs_beats_gables_everywhere(self, result):
+        for pu in result.pccs_errors:
+            assert result.pccs_errors[pu] < result.gables_errors[pu]
+
+    def test_workload_accessor(self, result):
+        w = result.workload("A")
+        assert w.for_pu("gpu").kernel_name == "pathfinder"
+
+    def test_render(self, result):
+        assert "Fig 14" in result.render()
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table5(pu_name="gpu", frequencies_mhz=(1600.0,))
+
+    def test_scaling_error_small(self, result):
+        """The Section 3.3 claim: linear scaling within a few percent of
+        an empirical re-construction (paper: < 3%; tolerance is looser
+        here because our machine has latency-driven nonlinearities)."""
+        assert result.overall_average_error < 0.25
+
+    def test_errors_per_parameter(self, result):
+        averages = result.average_errors()
+        assert "cbp" in averages and "tbwdc" in averages
+
+    def test_render(self, result):
+        assert "Table 5" in result.render()
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table7(platforms=("xavier-agx",))
+
+    def test_all_pus_present(self, result):
+        for pu in ("cpu", "gpu", "dla"):
+            assert result.params("xavier-agx", pu).pu_name == pu
+
+    def test_dla_has_smallest_normal_region(self, result):
+        dla = result.params("xavier-agx", "dla")
+        gpu = result.params("xavier-agx", "gpu")
+        assert dla.normal_bw < gpu.normal_bw
+
+    def test_dla_cbp_exceeds_gpu(self, result):
+        """Paper Table 7: the DLA flattens much later than the GPU."""
+        dla = result.params("xavier-agx", "dla")
+        gpu = result.params("xavier-agx", "gpu")
+        assert dla.cbp > gpu.cbp
+
+    def test_render(self, result):
+        assert "Table 7" in result.render()
+
+
+class TestTable9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table9_fig15(
+            frequencies_mhz=(590.0, 830.0, 1100.0, 1377.0),
+            pressures=(40.0,),
+            budgets=(0.2,),
+        )
+
+    def test_pccs_closer_than_gables(self, result):
+        assert result.average_error("pccs") <= result.average_error("gables")
+
+    def test_cell_accessor(self, result):
+        cell = result.cell(0.2, 40.0)
+        assert cell.truth_mhz in (590.0, 830.0, 1100.0, 1377.0)
+
+    def test_render(self, result):
+        assert "Table 9" in result.render()
+
+
+class TestSourceObliviousness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_source_obliviousness(totals=(40.0,))
+
+    def test_small_spread(self, result):
+        assert result.max_spread < 0.06
+
+    def test_render(self, result):
+        assert "Source-obliviousness" in result.render()

@@ -1,0 +1,88 @@
+"""Experiment runner CLI and CSV export."""
+
+import pytest
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    collect_series,
+    main,
+    run_experiment,
+    save_result_csvs,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for name in (
+            "fig2",
+            "fig3",
+            "fig5_table3",
+            "fig6",
+            "table5",
+            "table7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "table9_fig15",
+            "table10",
+            "usecase_cores",
+            "source_obliviousness",
+        ):
+            assert name in EXPERIMENTS, name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table7" in out
+
+    def test_no_names_prints_help(self, capsys):
+        assert main([]) == 2
+
+    def test_run_one_and_save(self, tmp_path, capsys):
+        assert main(["fig6", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig6.txt").exists()
+        assert "Fig 6" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert main(["fig6", "--out", str(tmp_path), "--csv"]) == 0
+        csvs = list(tmp_path.glob("fig6_*.csv"))
+        assert csvs
+        header = csvs[0].read_text().splitlines()[0]
+        assert header.startswith("x,")
+
+
+class TestCollectSeries:
+    def test_flat_series_result(self):
+        from repro.experiments.fig6 import run_fig6
+
+        groups = collect_series(run_fig6(steps=4))
+        assert "main" in groups
+
+    def test_panel_result(self):
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(steps=4, panels={"a": (15.0,)})
+        groups = collect_series(result)
+        assert "a" in groups
+
+    def test_table_result_has_no_series(self):
+        from repro.experiments.table7 import run_table7
+
+        assert collect_series(run_table7(platforms=("xavier-agx",))) == {}
+
+    def test_save_csvs_counts(self, tmp_path):
+        from repro.experiments.fig6 import run_fig6
+
+        count = save_result_csvs("fig6", run_fig6(steps=4), tmp_path)
+        assert count == 1
+        assert (tmp_path / "fig6_main.csv").exists()

@@ -1,0 +1,40 @@
+"""Table 10 experiment: the quantified related-work comparison."""
+
+import pytest
+
+from repro.experiments.table10 import run_table10
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table10(benchmarks=("srad", "pathfinder", "hotspot"), steps=6)
+
+
+class TestTable10:
+    def test_all_approaches_present(self, result):
+        names = {r.name for r in result.rows}
+        assert names == {"pccs", "gables", "bubble-up", "proportional"}
+
+    def test_accuracy_ladder(self, result):
+        """Bubble-Up <= PCCS < Gables: the Table 10 accuracy ordering."""
+        assert result.row("bubble-up").error <= result.row("pccs").error
+        assert result.row("pccs").error < result.row("gables").error
+
+    def test_bubbleup_cost_scales_with_apps(self, result):
+        bubble = result.row("bubble-up")
+        assert bubble.per_app_profiling
+        assert bubble.corun_measurements >= result.n_apps * 3
+
+    def test_pccs_cost_independent_of_apps(self, result):
+        """The crux: PCCS pays a fixed per-PU calibration, usable for
+        arbitrary applications and for design exploration."""
+        pccs = result.row("pccs")
+        assert not pccs.per_app_profiling
+        assert pccs.design_exploration
+
+    def test_bubbleup_not_usable_for_design(self, result):
+        assert not result.row("bubble-up").design_exploration
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table 10" in text and "bubble-up" in text

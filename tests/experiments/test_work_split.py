@@ -1,0 +1,50 @@
+"""Work-split experiment structure."""
+
+import pytest
+
+from repro.experiments.work_split import run_work_split
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_work_split(
+        kernel_name="srad", fractions=(0.0, 0.5, 1.0)
+    )
+
+
+class TestWorkSplit:
+    def test_curves_aligned(self, result):
+        assert (
+            len(result.measured)
+            == len(result.pccs_predicted)
+            == len(result.gables_predicted)
+            == 3
+        )
+
+    def test_endpoints_are_standalone(self, result):
+        assert result.pccs_predicted[0] == pytest.approx(
+            result.measured[0], rel=0.02
+        )
+        assert result.gables_predicted[-1] == pytest.approx(
+            result.measured[-1], rel=0.02
+        )
+
+    def test_outcomes_for_all_selectors(self, result):
+        assert {o.selector for o in result.outcomes} == {
+            "truth",
+            "pccs",
+            "gables",
+        }
+
+    def test_truth_outcome_is_minimum(self, result):
+        assert result.outcome("truth").measured_makespan == min(
+            result.measured
+        )
+
+    def test_curve_error_nonnegative(self, result):
+        assert result.curve_error("pccs") >= 0
+        assert result.curve_error("gables") >= 0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "work-split study" in text and "selector" in text

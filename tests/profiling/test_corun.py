@@ -1,0 +1,71 @@
+"""Real-workload co-run measurement harness."""
+
+import pytest
+
+from repro.baselines.gables import GablesModel
+from repro.profiling.corun import average_errors, measure_workload
+from repro.soc.spec import PUType
+from repro.workloads.dnn import dnn_model
+from repro.workloads.rodinia import rodinia_kernel
+
+
+@pytest.fixture(scope="module")
+def workload_result(xavier_engine, xavier_gpu_model, xavier_cpu_model, xavier_dla_params):
+    from repro.core.model import PCCSModel
+
+    gables = GablesModel(xavier_engine.soc.peak_bw)
+    model_sets = {
+        "pccs": {
+            "gpu": xavier_gpu_model,
+            "cpu": xavier_cpu_model,
+            "dla": PCCSModel(xavier_dla_params),
+        },
+        "gables": {pu: gables for pu in ("cpu", "gpu", "dla")},
+    }
+    placements = {
+        "cpu": rodinia_kernel("streamcluster", PUType.CPU),
+        "gpu": rodinia_kernel("pathfinder", PUType.GPU),
+        "dla": dnn_model("resnet50"),
+    }
+    return measure_workload(
+        xavier_engine, placements, model_sets, workload_name="A"
+    )
+
+
+class TestMeasureWorkload:
+    def test_per_pu_results(self, workload_result):
+        assert {r.pu_name for r in workload_result.per_pu} == {
+            "cpu",
+            "gpu",
+            "dla",
+        }
+
+    def test_predictions_for_both_model_families(self, workload_result):
+        for r in workload_result.per_pu:
+            assert set(r.predicted) == {"pccs", "gables"}
+
+    def test_actuals_are_fractions(self, workload_result):
+        for r in workload_result.per_pu:
+            assert 0.0 < r.actual <= 1.0
+
+    def test_error_accessor(self, workload_result):
+        r = workload_result.for_pu("gpu")
+        assert r.error("pccs") == pytest.approx(
+            abs(r.predicted["pccs"] - r.actual)
+        )
+
+    def test_unknown_pu_rejected(self, workload_result):
+        with pytest.raises(KeyError):
+            workload_result.for_pu("npu")
+
+    def test_pccs_beats_gables_on_this_workload(self, workload_result):
+        """The headline property, on one Table 8 workload."""
+        pccs = sum(r.error("pccs") for r in workload_result.per_pu)
+        gables = sum(r.error("gables") for r in workload_result.per_pu)
+        assert pccs < gables
+
+    def test_average_errors(self, workload_result):
+        errors = average_errors((workload_result,), "pccs")
+        assert set(errors) == {"cpu", "gpu", "dla"}
+        for value in errors.values():
+            assert 0.0 <= value < 1.0

@@ -1,0 +1,56 @@
+"""External-pressure sweeps."""
+
+import pytest
+
+from repro.profiling.pressure import default_pressure_pu, sweep_pressure
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+LEVELS = [30.0, 70.0, 110.0]
+
+
+@pytest.fixture(scope="module")
+def srad_sweep(xavier_engine):
+    kernel = rodinia_kernel("srad", PUType.GPU)
+    return sweep_pressure(
+        xavier_engine, kernel, "gpu", external_levels=LEVELS
+    )
+
+
+class TestSweep:
+    def test_point_per_level(self, srad_sweep):
+        assert srad_sweep.external_bws == tuple(LEVELS)
+
+    def test_speeds_monotone_decreasing(self, srad_sweep):
+        speeds = srad_sweep.relative_speeds
+        for a, b in zip(speeds, speeds[1:]):
+            assert b <= a + 0.02
+
+    def test_final_speed_accessor(self, srad_sweep):
+        assert srad_sweep.final_relative_speed == srad_sweep.relative_speeds[-1]
+
+    def test_demand_recorded(self, srad_sweep, xavier_engine):
+        kernel = rodinia_kernel("srad", PUType.GPU)
+        assert srad_sweep.demand_bw == pytest.approx(
+            xavier_engine.standalone_demand(kernel, "gpu")
+        )
+
+    def test_external_achieved_at_most_demanded(self, srad_sweep):
+        for p in srad_sweep.points:
+            assert p.external_achieved_bw <= p.external_bw * 1.05
+
+    def test_pressure_pu_convention(self, xavier_engine):
+        assert default_pressure_pu(xavier_engine, "gpu") == "cpu"
+        assert default_pressure_pu(xavier_engine, "dla") == "cpu"
+        assert default_pressure_pu(xavier_engine, "cpu") == "gpu"
+
+    def test_explicit_pressure_pu(self, xavier_engine):
+        kernel = rodinia_kernel("srad", PUType.GPU)
+        sweep = sweep_pressure(
+            xavier_engine,
+            kernel,
+            "gpu",
+            external_levels=[30.0],
+            pressure_pu="dla",
+        )
+        assert sweep.pressure_pu == "dla"

@@ -1,0 +1,37 @@
+"""Standalone profiling reports."""
+
+import pytest
+
+from repro.profiling.standalone import profile_standalone, profile_suite
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+
+class TestStandaloneReport:
+    def test_report_fields(self, xavier_engine):
+        kernel = rodinia_kernel("srad", PUType.GPU)
+        report = profile_standalone(xavier_engine, kernel, "gpu")
+        assert report.kernel_name == "srad"
+        assert report.pu_name == "gpu"
+        assert report.seconds > 0
+        assert report.avg_demand_bw > 0
+
+    def test_phase_fractions_sum_to_one(self, xavier_engine):
+        kernel = rodinia_kernel("cfd", PUType.GPU)
+        report = profile_standalone(xavier_engine, kernel, "gpu")
+        assert sum(p.time_fraction for p in report.phases) == pytest.approx(1.0)
+
+    def test_region_classification(self, xavier_engine, xavier_gpu_params):
+        from repro.core.parameters import Region
+
+        hotspot = profile_standalone(
+            xavier_engine, rodinia_kernel("hotspot", PUType.GPU), "gpu"
+        )
+        assert hotspot.region(xavier_gpu_params) is Region.MINOR
+
+    def test_suite_profiling(self, xavier_engine):
+        from repro.workloads.rodinia import rodinia_suite
+
+        suite = rodinia_suite(PUType.GPU, ("srad", "hotspot"))
+        reports = profile_suite(xavier_engine, suite, "gpu")
+        assert set(reports) == {"srad", "hotspot"}

@@ -1,0 +1,95 @@
+"""The PCCS-driven QoS frequency governor."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.runtime.governor import QoSGovernor
+from repro.soc.configs import xavier_agx
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+FREQS = (590.0, 830.0, 1100.0, 1377.0)
+
+
+@pytest.fixture(scope="module")
+def governor(xavier_gpu_model):
+    return QoSGovernor(
+        xavier_agx(),
+        "gpu",
+        kernel_factory=lambda: rodinia_kernel("streamcluster", PUType.GPU),
+        frequencies_mhz=FREQS,
+        model=xavier_gpu_model,
+        budget=0.05,
+    )
+
+
+class TestDecisions:
+    def test_decision_fields(self, governor):
+        decision = governor.decide(30.0)
+        assert decision.frequency_mhz in FREQS
+        assert 0.9 <= decision.predicted_speed <= 1.0
+
+    def test_within_budget(self, governor):
+        for bw in (0.0, 25.0, 60.0, 100.0):
+            decision = governor.decide(bw)
+            assert decision.predicted_speed >= 0.95 - 1e-9
+
+    def test_high_contention_allows_lower_clock(self, governor):
+        """When contention caps performance anyway, the governor drops
+        the clock: co-run speed at a lower clock matches the top clock's
+        contended speed."""
+        calm = governor.decide(5.0)
+        stormy = governor.decide(110.0)
+        assert stormy.frequency_mhz <= calm.frequency_mhz
+
+    def test_negative_demand_rejected(self, governor):
+        with pytest.raises(PredictionError):
+            governor.decide(-1.0)
+
+    def test_run_over_series(self, governor):
+        series = [10.0, 40.0, 90.0, 120.0, 20.0]
+        decisions = governor.run(series)
+        assert [d.external_bw for d in decisions] == series
+
+    def test_energy_proxy_bounds(self, governor):
+        decisions = governor.run([10.0, 60.0, 110.0])
+        proxy = governor.energy_proxy(decisions)
+        assert 0.0 < proxy <= 1.0
+
+    def test_governor_saves_energy_under_contention(self, governor):
+        """A bursty external series lets the governor undercut the
+        always-top-clock baseline."""
+        series = [100.0] * 6 + [10.0] * 2
+        proxy = governor.energy_proxy(governor.run(series))
+        assert proxy < 0.95
+
+    def test_empty_decisions_rejected(self, governor):
+        with pytest.raises(PredictionError):
+            governor.energy_proxy([])
+
+
+class TestConstruction:
+    def test_needs_frequencies(self, xavier_gpu_model):
+        with pytest.raises(PredictionError):
+            QoSGovernor(
+                xavier_agx(),
+                "gpu",
+                kernel_factory=lambda: rodinia_kernel(
+                    "streamcluster", PUType.GPU
+                ),
+                frequencies_mhz=(),
+                model=xavier_gpu_model,
+            )
+
+    def test_bad_budget_rejected(self, xavier_gpu_model):
+        with pytest.raises(PredictionError):
+            QoSGovernor(
+                xavier_agx(),
+                "gpu",
+                kernel_factory=lambda: rodinia_kernel(
+                    "streamcluster", PUType.GPU
+                ),
+                frequencies_mhz=FREQS,
+                model=xavier_gpu_model,
+                budget=1.0,
+            )

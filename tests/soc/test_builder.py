@@ -1,0 +1,101 @@
+"""Custom SoC builders: the design-exploration entry point."""
+
+import pytest
+
+from repro.core.calibration import build_pccs_parameters
+from repro.errors import ConfigurationError
+from repro.soc.builder import custom_pu, custom_soc
+from repro.soc.engine import CoRunEngine
+from repro.soc.spec import PUType
+from repro.workloads.roofline import calibrator_for_bandwidth, max_demand_kernel
+
+
+def orin_like():
+    """A hypothetical next-generation SoC: more bandwidth, two GPUs."""
+    return custom_soc(
+        "orin-like",
+        pus=(
+            custom_pu("cpu", PUType.CPU, cores=12, frequency_mhz=2200.0, max_bw=120.0),
+            custom_pu("gpu0", PUType.GPU, cores=1024, frequency_mhz=1300.0, max_bw=190.0),
+            custom_pu("gpu1", PUType.GPU, cores=512, frequency_mhz=1000.0, max_bw=150.0),
+            custom_pu("dla", PUType.DLA, cores=4096, frequency_mhz=1600.0, max_bw=60.0),
+        ),
+        memory_channels=8,
+        memory_bus_bits=32,
+        memory_frequency_mhz=3200.0,
+    )
+
+
+class TestCustomPU:
+    def test_mlp_derived_from_archetype(self):
+        pu = custom_pu("cpu", PUType.CPU, 8, 2000.0, max_bw=64.0)
+        assert pu.saturation_latency_ns == pytest.approx(270.0)
+
+    def test_archetype_defaults_applied(self):
+        gpu = custom_pu("gpu", PUType.GPU, 512, 1300.0, max_bw=150.0)
+        assert gpu.arbitration_weight == 1.25
+        assert gpu.overlap == 0.95
+
+    def test_overrides_win(self):
+        pu = custom_pu(
+            "cpu", PUType.CPU, 8, 2000.0, max_bw=64.0, overlap=0.5,
+            mlp_lines=100.0,
+        )
+        assert pu.overlap == 0.5
+        assert pu.mlp_lines == 100.0
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            custom_pu("cpu", PUType.CPU, 0, 2000.0, max_bw=64.0)
+
+
+class TestCustomSoC:
+    def test_peak_bw_from_memory_numbers(self):
+        soc = orin_like()
+        # 8 x 32-bit @ 3200 MHz DDR = 204.8 GB/s.
+        assert soc.peak_bw == pytest.approx(204.8)
+
+    def test_duplicate_gpus_allowed_with_distinct_names(self):
+        soc = orin_like()
+        assert "gpu0" in soc.pu_names and "gpu1" in soc.pu_names
+
+
+class TestDesignLoopOnCustomSoC:
+    """The full PCCS workflow must run on a user-defined design."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return CoRunEngine(orin_like())
+
+    def test_standalone_profiling(self, engine):
+        demand = engine.standalone_demand(max_demand_kernel(), "gpu0")
+        assert 150.0 <= demand <= 200.0
+
+    def test_model_construction(self, engine):
+        params = build_pccs_parameters(engine, "gpu0")
+        assert params.peak_bw == pytest.approx(204.8)
+        assert params.tbwdc > 0
+
+    def test_two_gpu_contention(self, engine):
+        victim, _ = calibrator_for_bandwidth(engine, "gpu0", 100.0)
+        pressure, _ = calibrator_for_bandwidth(engine, "gpu1", 140.0)
+        rs = engine.relative_speed("gpu0", victim, {"gpu1": pressure})
+        assert 0.3 < rs < 0.98
+
+    def test_bigger_memory_softens_contention_vs_xavier(self, engine):
+        """Same victim demand, same pressure level: the 205 GB/s design
+        leaves more headroom than the 137 GB/s Xavier."""
+        from repro.soc.configs import xavier_agx
+
+        xavier = CoRunEngine(xavier_agx())
+        victim_x, _ = calibrator_for_bandwidth(xavier, "gpu", 80.0)
+        pressure_x, _ = calibrator_for_bandwidth(xavier, "cpu", 80.0)
+        rs_xavier = xavier.relative_speed(
+            "gpu", victim_x, {"cpu": pressure_x}
+        )
+        victim_o, _ = calibrator_for_bandwidth(engine, "gpu0", 80.0)
+        pressure_o, _ = calibrator_for_bandwidth(engine, "cpu", 80.0)
+        rs_orin = engine.relative_speed(
+            "gpu0", victim_o, {"cpu": pressure_o}
+        )
+        assert rs_orin > rs_xavier

@@ -1,0 +1,68 @@
+"""Built-in platform configurations (paper Table 6)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.configs import available_socs, snapdragon_855, soc_by_name, xavier_agx
+from repro.soc.spec import PUType
+
+
+class TestXavier:
+    def test_pus(self):
+        soc = xavier_agx()
+        assert soc.pu_names == ("cpu", "gpu", "dla")
+
+    def test_peak_bw_matches_paper(self):
+        assert xavier_agx().peak_bw == pytest.approx(136.5, abs=0.2)
+
+    def test_cpu_spec(self):
+        cpu = xavier_agx().pu("cpu")
+        assert cpu.cores == 8
+        assert cpu.frequency_mhz == 2265.0
+        assert cpu.pu_type is PUType.CPU
+
+    def test_gpu_spec(self):
+        gpu = xavier_agx().pu("gpu")
+        assert gpu.cores == 512
+        assert gpu.frequency_mhz == 1377.0
+        assert gpu.peak_gflops == pytest.approx(1410.0, rel=0.01)
+
+    def test_dla_spec(self):
+        dla = xavier_agx().pu("dla")
+        assert dla.pu_type is PUType.DLA
+        assert dla.max_bw == 30.0
+
+    def test_gpu_most_latency_tolerant(self):
+        soc = xavier_agx()
+        assert (
+            soc.pu("gpu").saturation_latency_ns
+            > soc.pu("cpu").saturation_latency_ns
+        )
+
+    def test_fresh_instances(self):
+        assert xavier_agx() == xavier_agx()
+        assert xavier_agx() is not xavier_agx()
+
+
+class TestSnapdragon:
+    def test_pus(self):
+        assert snapdragon_855().pu_names == ("cpu", "gpu")
+
+    def test_peak_bw_matches_paper(self):
+        assert snapdragon_855().peak_bw == pytest.approx(34.1, abs=0.1)
+
+    def test_no_dla(self):
+        with pytest.raises(ConfigurationError):
+            snapdragon_855().pu("dla")
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_socs()) == {"xavier-agx", "snapdragon-855"}
+
+    def test_lookup(self):
+        assert soc_by_name("xavier-agx").name == "xavier-agx"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soc_by_name("tegra-x1")

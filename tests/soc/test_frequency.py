@@ -1,0 +1,85 @@
+"""DVFS scaling helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.configs import xavier_agx
+from repro.soc.engine import CoRunEngine
+from repro.soc.frequency import (
+    frequency_sweep,
+    scale_pu_frequency,
+    soc_with_memory_channels,
+    soc_with_memory_frequency,
+    soc_with_pu_frequency,
+)
+from repro.workloads.kernel import single_phase_kernel
+from repro.workloads.rodinia import rodinia_kernel
+from repro.soc.spec import PUType
+
+
+class TestPUFrequency:
+    def test_compute_scales_with_clock(self):
+        pu = xavier_agx().pu("gpu")
+        half = scale_pu_frequency(pu, pu.frequency_mhz / 2)
+        assert half.peak_gflops == pytest.approx(pu.peak_gflops / 2)
+
+    def test_memory_path_not_scaled(self):
+        pu = xavier_agx().pu("gpu")
+        half = scale_pu_frequency(pu, pu.frequency_mhz / 2)
+        assert half.max_bw == pu.max_bw
+        assert half.mlp_lines == pu.mlp_lines
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_pu_frequency(xavier_agx().pu("gpu"), 0.0)
+
+    def test_soc_with_pu_frequency(self):
+        soc = soc_with_pu_frequency(xavier_agx(), "gpu", 900.0)
+        assert soc.pu("gpu").frequency_mhz == 900.0
+        assert soc.pu("cpu").frequency_mhz == 2265.0
+
+    def test_sweep_lengths(self):
+        variants = frequency_sweep(xavier_agx(), "gpu", [500.0, 900.0])
+        assert [v.pu("gpu").frequency_mhz for v in variants] == [500.0, 900.0]
+
+
+class TestMemoryFrequency:
+    def test_peak_scales(self):
+        soc = xavier_agx()
+        half = soc_with_memory_frequency(soc, soc.memory.io_frequency_mhz / 2)
+        assert half.peak_bw == pytest.approx(soc.peak_bw / 2)
+
+    def test_channels_scale(self):
+        soc = xavier_agx()
+        half = soc_with_memory_channels(soc, 4)
+        assert half.peak_bw == pytest.approx(soc.peak_bw / 2)
+
+
+class TestRooflineCrossover:
+    """The Section 4.3 behaviour: a memory-bound kernel's standalone
+    demand is clock-independent until the roofline crossover."""
+
+    def test_memory_bound_demand_flat_at_high_clock(self):
+        kernel = rodinia_kernel("streamcluster", PUType.GPU)
+        top = CoRunEngine(xavier_agx())
+        lower = CoRunEngine(soc_with_pu_frequency(xavier_agx(), "gpu", 1100.0))
+        d_top = top.standalone_demand(kernel, "gpu")
+        d_lower = lower.standalone_demand(kernel, "gpu")
+        assert d_lower == pytest.approx(d_top, rel=0.05)
+
+    def test_demand_drops_below_crossover(self):
+        kernel = rodinia_kernel("streamcluster", PUType.GPU)
+        top = CoRunEngine(xavier_agx())
+        slow = CoRunEngine(soc_with_pu_frequency(xavier_agx(), "gpu", 500.0))
+        assert slow.standalone_demand(kernel, "gpu") < (
+            top.standalone_demand(kernel, "gpu") * 0.7
+        )
+
+    def test_compute_bound_kernel_scales_immediately(self):
+        kernel = single_phase_kernel("hot", 200.0)  # far above ridge
+        top = CoRunEngine(xavier_agx())
+        slower = CoRunEngine(soc_with_pu_frequency(xavier_agx(), "gpu", 1100.0))
+        ratio = slower.standalone_demand(kernel, "gpu") / top.standalone_demand(
+            kernel, "gpu"
+        )
+        assert ratio == pytest.approx(1100.0 / 1377.0, rel=0.02)

@@ -1,0 +1,137 @@
+"""SoC power model and power-budget exploration (Section 5 extension)."""
+
+import pytest
+
+from repro.core.explorer import FrequencyExplorer
+from repro.errors import ConfigurationError, PredictionError
+from repro.soc.configs import xavier_agx
+from repro.soc.frequency import soc_with_pu_cores, soc_with_pu_frequency
+from repro.soc.power import PowerModel, explore_power_budget
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+
+@pytest.fixture(scope="module")
+def power() -> PowerModel:
+    return PowerModel(reference=xavier_agx())
+
+
+class TestPowerModel:
+    def test_reference_power_positive(self, power):
+        soc = xavier_agx()
+        assert power.soc_power_w(soc) > 0
+
+    def test_cubic_frequency_scaling(self, power):
+        soc = xavier_agx()
+        gpu = soc.pu("gpu")
+        half = gpu.at_frequency(gpu.frequency_mhz / 2)
+        full_dynamic = power.pu_power_w(gpu) - 0.004 * gpu.cores
+        half_dynamic = power.pu_power_w(half) - 0.004 * gpu.cores
+        assert half_dynamic == pytest.approx(full_dynamic / 8, rel=0.01)
+
+    def test_core_scaling(self, power):
+        soc = xavier_agx()
+        smaller = soc_with_pu_cores(soc, "gpu", 256)
+        assert power.pu_power_w(smaller.pu("gpu")) < power.pu_power_w(
+            soc.pu("gpu")
+        )
+
+    def test_memory_term(self, power):
+        soc = xavier_agx()
+        pu_total = sum(power.pu_power_w(pu) for pu in soc.pus)
+        assert power.soc_power_w(soc) == pytest.approx(
+            pu_total + soc.peak_bw * power.memory_w_per_gbps
+        )
+
+    def test_underclocked_soc_cheaper(self, power):
+        soc = xavier_agx()
+        slow = soc_with_pu_frequency(soc, "gpu", 700.0)
+        assert power.soc_power_w(slow) < power.soc_power_w(soc)
+
+    def test_custom_overrides(self):
+        model = PowerModel(
+            reference=xavier_agx(), dynamic_w={"gpu": 100.0}
+        )
+        default = PowerModel(reference=xavier_agx())
+        gpu = xavier_agx().pu("gpu")
+        assert model.pu_power_w(gpu) > default.pu_power_w(gpu)
+
+
+class TestPowerBudgetExploration:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return FrequencyExplorer(
+            xavier_agx(),
+            "gpu",
+            kernel_factory=lambda: rodinia_kernel(
+                "streamcluster", PUType.GPU
+            ),
+        )
+
+    def test_tight_budget_forces_lower_clock(
+        self, explorer, power, xavier_gpu_model
+    ):
+        freqs = (590.0, 830.0, 1100.0, 1377.0)
+        generous = explore_power_budget(
+            explorer, power, freqs, 40.0, 200.0, xavier_gpu_model
+        )
+        top_power = max(p.power_w for p in generous.points)
+        tight = explore_power_budget(
+            explorer, power, freqs, 40.0, top_power * 0.7, xavier_gpu_model
+        )
+        assert tight.selected_mhz < generous.selected_mhz
+        assert tight.power_saving > 0
+
+    def test_infeasible_budget_rejected(
+        self, explorer, power, xavier_gpu_model
+    ):
+        with pytest.raises(PredictionError):
+            explore_power_budget(
+                explorer, power, (1377.0,), 40.0, 1.0, xavier_gpu_model
+            )
+
+    def test_zero_budget_rejected(self, explorer, power, xavier_gpu_model):
+        with pytest.raises(ConfigurationError):
+            explore_power_budget(
+                explorer, power, (1377.0,), 40.0, 0.0, xavier_gpu_model
+            )
+
+    def test_memory_bound_kernel_saves_power_cheaply(
+        self, explorer, power, xavier_gpu_model
+    ):
+        """The paper's 52.1% power-saving story: a memory-bound kernel
+        keeps most of its co-run performance at a much cheaper clock."""
+        freqs = (590.0, 830.0, 1100.0, 1377.0)
+        selection = explore_power_budget(
+            explorer, power, freqs, 40.0, 35.0, xavier_gpu_model
+        )
+        by_freq = {p.frequency_mhz: p for p in selection.points}
+        chosen = by_freq[selection.selected_mhz]
+        top = by_freq[1377.0]
+        assert chosen.power_w < top.power_w * 0.75
+        assert chosen.corun_speed > top.corun_speed * 0.9
+
+
+class TestCoreScalingHelper:
+    def test_peak_scales_with_cores(self):
+        soc = xavier_agx()
+        half = soc_with_pu_cores(soc, "gpu", 256)
+        assert half.pu("gpu").peak_gflops == pytest.approx(
+            soc.pu("gpu").peak_gflops / 2
+        )
+
+    def test_front_end_bandwidth_unchanged(self):
+        soc = xavier_agx()
+        half = soc_with_pu_cores(soc, "gpu", 256)
+        assert half.pu("gpu").max_bw == soc.pu("gpu").max_bw
+
+    def test_mlp_scales_sublinearly(self):
+        soc = xavier_agx()
+        half = soc_with_pu_cores(soc, "gpu", 256)
+        assert half.pu("gpu").mlp_lines == pytest.approx(
+            soc.pu("gpu").mlp_lines * 0.5**0.5
+        )
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soc_with_pu_cores(xavier_agx(), "gpu", 0)

@@ -1,0 +1,125 @@
+"""PU standalone profiling: the fixed point behind bandwidth demands."""
+
+import pytest
+
+from repro.soc.memsys import SharedMemorySystem
+from repro.soc.pu import compute_time_per_gb, profile_kernel, profile_phase
+from repro.workloads.kernel import Phase, single_phase_kernel
+from repro.workloads.rodinia import rodinia_kernel
+from repro.soc.spec import PUType
+
+
+@pytest.fixture()
+def mem(xavier_engine) -> SharedMemorySystem:
+    return xavier_engine.memory
+
+
+@pytest.fixture()
+def gpu(xavier_engine):
+    return xavier_engine.soc.pu("gpu")
+
+
+@pytest.fixture()
+def cpu(xavier_engine):
+    return xavier_engine.soc.pu("cpu")
+
+
+def phase(op_intensity: float, locality: float = 1.0) -> Phase:
+    traffic = 0.5e9
+    return Phase(
+        name="p",
+        flops=op_intensity * traffic,
+        traffic_bytes=traffic,
+        locality=locality,
+    )
+
+
+class TestProfilePhase:
+    def test_streaming_phase_hits_front_end_limit(self, gpu, mem):
+        profile = profile_phase(gpu, phase(0.0), mem)
+        assert profile.demand == pytest.approx(
+            min(gpu.max_bw, mem.effective_bw([])), rel=0.1
+        )
+
+    def test_demand_monotone_decreasing_in_intensity(self, gpu, mem):
+        demands = [
+            profile_phase(gpu, phase(oi), mem).demand
+            for oi in (0.0, 5.0, 20.0, 80.0, 300.0)
+        ]
+        assert demands == sorted(demands, reverse=True)
+
+    def test_compute_bound_demand_matches_roofline(self, gpu, mem):
+        oi = 200.0  # far above the ridge
+        profile = profile_phase(gpu, phase(oi), mem)
+        assert profile.demand == pytest.approx(
+            gpu.peak_gflops / oi, rel=0.1
+        )
+
+    def test_poor_locality_lowers_demand_for_streaming(self, cpu, mem):
+        good = profile_phase(cpu, phase(0.0, locality=1.0), mem)
+        bad = profile_phase(cpu, phase(0.0, locality=0.6), mem)
+        assert bad.demand < good.demand
+
+    def test_seconds_consistent_with_demand(self, gpu, mem):
+        profile = profile_phase(gpu, phase(10.0), mem)
+        assert profile.seconds == pytest.approx(
+            profile.traffic_gb / profile.demand
+        )
+
+    def test_burst_at_least_demand(self, gpu, mem):
+        profile = profile_phase(gpu, phase(10.0), mem)
+        assert profile.burst_bw >= profile.demand - 1e-6
+
+    def test_compute_time_per_gb(self, gpu):
+        p = phase(10.0)
+        assert compute_time_per_gb(gpu, p) == pytest.approx(
+            10.0 / gpu.peak_gflops
+        )
+
+
+class TestProfileKernel:
+    def test_multiphase_totals(self, gpu, mem):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = profile_kernel(gpu, cfd, mem)
+        assert len(profile.phases) == 4
+        assert profile.total_seconds == pytest.approx(
+            sum(p.seconds for p in profile.phases)
+        )
+        assert profile.total_traffic_bytes == pytest.approx(cfd.total_bytes)
+
+    def test_avg_demand_between_extremes(self, gpu, mem):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = profile_kernel(gpu, cfd, mem)
+        demands = [p.demand for p in profile.phases]
+        assert min(demands) <= profile.avg_demand <= max(demands)
+
+    def test_phase_weights_sum_to_one(self, gpu, mem):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = profile_kernel(gpu, cfd, mem)
+        assert sum(profile.phase_weights()) == pytest.approx(1.0)
+
+    def test_peak_phase_demand(self, gpu, mem):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        profile = profile_kernel(gpu, cfd, mem)
+        assert profile.peak_phase_demand == max(
+            p.demand for p in profile.phases
+        )
+
+
+class TestPlatformDemands:
+    """Emergent demands must match the paper's Fig. 2 landmarks."""
+
+    def test_gpu_near_peak_demand(self, xavier_engine):
+        kernel = single_phase_kernel("stream", 0.0)
+        demand = xavier_engine.standalone_demand(kernel, "gpu")
+        assert 115.0 <= demand <= 130.0  # paper: ~127 GB/s
+
+    def test_cpu_near_peak_demand(self, xavier_engine):
+        kernel = single_phase_kernel("stream", 0.0)
+        demand = xavier_engine.standalone_demand(kernel, "cpu")
+        assert 85.0 <= demand <= 98.0  # paper: ~93 GB/s
+
+    def test_dla_near_peak_demand(self, xavier_engine):
+        kernel = single_phase_kernel("stream", 0.0)
+        demand = xavier_engine.standalone_demand(kernel, "dla")
+        assert 25.0 <= demand <= 32.0  # paper: ~30 GB/s

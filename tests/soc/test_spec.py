@@ -1,0 +1,146 @@
+"""SoC/PU/memory specification objects."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.spec import MCBehavior, MemorySpec, PUSpec, PUType, SoCSpec
+
+
+def make_pu(**overrides) -> PUSpec:
+    base = dict(
+        name="cpu",
+        pu_type=PUType.CPU,
+        cores=8,
+        frequency_mhz=2000.0,
+        flops_per_cycle_per_core=8.0,
+        max_bw=90.0,
+        mlp_lines=300.0,
+    )
+    base.update(overrides)
+    return PUSpec(**base)
+
+
+class TestPUSpec:
+    def test_peak_gflops(self):
+        pu = make_pu(cores=8, frequency_mhz=2000.0, flops_per_cycle_per_core=8.0)
+        assert pu.peak_gflops == pytest.approx(8 * 2000e6 * 8 / 1e9)
+
+    def test_ridge_intensity(self):
+        pu = make_pu()
+        assert pu.ridge_intensity == pytest.approx(pu.peak_gflops / pu.max_bw)
+
+    def test_saturation_latency(self):
+        pu = make_pu(mlp_lines=300.0, max_bw=90.0)
+        assert pu.saturation_latency_ns == pytest.approx(300 * 64 / 90.0)
+
+    def test_at_frequency_scales_compute_only(self):
+        pu = make_pu()
+        slowed = pu.at_frequency(1000.0)
+        assert slowed.peak_gflops == pytest.approx(pu.peak_gflops / 2)
+        assert slowed.max_bw == pu.max_bw
+        assert slowed.mlp_lines == pu.mlp_lines
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("frequency_mhz", -1.0),
+            ("flops_per_cycle_per_core", 0.0),
+            ("max_bw", 0.0),
+            ("mlp_lines", 0.0),
+            ("latency_sensitivity", 1.5),
+            ("overlap", -0.1),
+            ("latency_exposure", 2.0),
+            ("arbitration_weight", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_pu(**{field: value})
+
+
+class TestMemorySpec:
+    def test_xavier_peak_bw(self):
+        mem = MemorySpec(channels=8, bus_bits_per_channel=32, io_frequency_mhz=2133.0)
+        assert mem.peak_bw == pytest.approx(136.5, abs=0.2)
+
+    def test_snapdragon_peak_bw(self):
+        mem = MemorySpec(channels=2, bus_bits_per_channel=32, io_frequency_mhz=2133.0)
+        assert mem.peak_bw == pytest.approx(34.1, abs=0.1)
+
+    def test_at_frequency(self):
+        mem = MemorySpec(8, 32, 2133.0)
+        half = mem.at_frequency(1066.5)
+        assert half.peak_bw == pytest.approx(mem.peak_bw / 2)
+
+    def test_with_channels(self):
+        mem = MemorySpec(8, 32, 2133.0)
+        assert mem.with_channels(4).peak_bw == pytest.approx(mem.peak_bw / 2)
+
+    def test_invalid_bus_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(8, 33, 2133.0)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(0, 32, 2133.0)
+
+
+class TestMCBehavior:
+    def test_defaults_valid(self):
+        MCBehavior()
+
+    def test_efficiency_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MCBehavior(
+                single_stream_efficiency=0.5, multi_stream_efficiency=0.8
+            )
+
+    def test_guarantee_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MCBehavior(guarantee_fraction=0.0)
+
+    def test_cap_below_guarantee_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MCBehavior(guarantee_fraction=0.5, cap_fraction=0.3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MCBehavior(base_latency_ns=-1.0)
+
+
+class TestSoCSpec:
+    def test_pu_lookup(self, xavier_engine):
+        soc = xavier_engine.soc
+        assert soc.pu("gpu").pu_type is PUType.GPU
+        with pytest.raises(ConfigurationError):
+            soc.pu("npu")
+
+    def test_duplicate_pu_names_rejected(self):
+        pu = make_pu()
+        with pytest.raises(ConfigurationError):
+            SoCSpec(name="dup", pus=(pu, pu), memory=MemorySpec(2, 32, 2133.0))
+
+    def test_empty_pus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoCSpec(name="none", pus=(), memory=MemorySpec(2, 32, 2133.0))
+
+    def test_with_pu_replaces(self, xavier_engine):
+        soc = xavier_engine.soc
+        faster = soc.pu("cpu").at_frequency(3000.0)
+        updated = soc.with_pu(faster)
+        assert updated.pu("cpu").frequency_mhz == 3000.0
+        assert soc.pu("cpu").frequency_mhz != 3000.0  # original untouched
+
+    def test_with_unknown_pu_rejected(self, xavier_engine):
+        with pytest.raises(ConfigurationError):
+            xavier_engine.soc.with_pu(make_pu(name="npu"))
+
+    def test_with_memory(self, xavier_engine):
+        soc = xavier_engine.soc
+        updated = soc.with_memory(soc.memory.at_frequency(1066.0))
+        assert updated.peak_bw < soc.peak_bw
+
+    def test_peak_bw_from_memory(self, xavier_engine):
+        soc = xavier_engine.soc
+        assert soc.peak_bw == soc.memory.peak_bw

@@ -1,0 +1,59 @@
+"""Co-run timeline recording."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc.spec import PUType
+from repro.workloads.kernel import single_phase_kernel
+from repro.workloads.rodinia import rodinia_kernel
+from repro.workloads.roofline import calibrator_for_bandwidth
+
+
+class TestTimeline:
+    def test_disabled_by_default(self, xavier_engine):
+        result = xavier_engine.corun(
+            {"gpu": single_phase_kernel("k", 20.0)}
+        )
+        assert result.timeline == ()
+
+    def test_samples_recorded(self, xavier_engine):
+        result = xavier_engine.corun(
+            {"gpu": single_phase_kernel("k", 20.0)}, record_timeline=True
+        )
+        assert len(result.timeline) >= 1
+        assert result.timeline[0].time == 0.0
+
+    def test_sample_accessor(self, xavier_engine):
+        result = xavier_engine.corun(
+            {"gpu": single_phase_kernel("k", 20.0)}, record_timeline=True
+        )
+        sample = result.timeline[0]
+        assert sample.bw("gpu") > 0
+        with pytest.raises(SimulationError):
+            sample.bw("npu")
+
+    def test_times_monotone(self, xavier_engine):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        result = xavier_engine.corun({"gpu": cfd}, record_timeline=True)
+        times = [s.time for s in result.timeline]
+        assert times == sorted(times)
+
+    def test_multiphase_demand_visible_in_timeline(self, xavier_engine):
+        """CFD's high-BW K1 phase shows as a bandwidth step."""
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        result = xavier_engine.corun({"gpu": cfd}, record_timeline=True)
+        bws = [s.bw("gpu") for s in result.timeline]
+        assert len(bws) >= 4  # one sample per phase
+        assert max(bws) > min(bws) * 1.3  # K1 vs K2-4 contrast
+
+    def test_contention_visible_in_timeline(self, xavier_engine):
+        victim = single_phase_kernel("victim", 11.0)  # heavy on GPU
+        pressure, _ = calibrator_for_bandwidth(xavier_engine, "cpu", 80.0)
+        result = xavier_engine.corun(
+            {"gpu": victim, "cpu": pressure},
+            looping={"cpu"},
+            record_timeline=True,
+        )
+        sample = result.timeline[0]
+        total = sample.bw("gpu") + sample.bw("cpu")
+        assert total < xavier_engine.soc.peak_bw

@@ -1,0 +1,39 @@
+"""Exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    CalibrationError,
+    SimulationError,
+    WorkloadError,
+    PredictionError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_is_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_distinct_leaf_types():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)

@@ -1,0 +1,56 @@
+"""Example scripts are runnable deliverables: smoke-test them.
+
+``scheduler_comparison.py`` simulates millions of DRAM transactions and
+is exercised by the Fig. 5 benchmark instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "constructed GPU model" in out
+        assert "PCCS error" in out
+        assert "Gables" in out
+
+    def test_autonomous_vehicle_workload(self, capsys):
+        out = run_example("autonomous_vehicle_workload.py", capsys)
+        assert "best placement" in out
+        assert "ground-truth co-run" in out
+
+    def test_design_space_exploration(self, capsys):
+        out = run_example("design_space_exploration.py", capsys)
+        assert "ground truth:" in out
+        assert "memory what-if" in out
+
+    def test_power_budget(self, capsys):
+        out = run_example("power_budget.py", capsys)
+        assert "budget (W)" in out
+        assert "infeasible" in out or "power saved" in out
+
+    def test_cross_platform_porting(self, capsys):
+        out = run_example("cross_platform_porting.py", capsys)
+        assert "xavier-agx" in out and "snapdragon-855" in out
+        assert "contention region" in out
+
+    def test_runtime_governor(self, capsys):
+        out = run_example("runtime_governor.py", capsys)
+        assert "dynamic-energy proxy" in out
+        assert "saved" in out
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 7  # quickstart + >=6 scenario examples

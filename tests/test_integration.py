@@ -1,0 +1,131 @@
+"""Integration: the paper's headline claims, end to end.
+
+These tests run the complete pipeline — machine simulation, calibrator
+construction, prediction, ground-truth measurement — and assert the
+paper's central quantitative structure:
+
+1. PCCS predicts co-run slowdowns with single-digit average error;
+2. PCCS beats Gables on every PU of both platforms;
+3. the three-region curve shape holds on the ground-truth machine.
+"""
+
+import pytest
+
+from repro.analysis.errors import mean_abs_error
+from repro.baselines.gables import GablesModel
+from repro.core.calibration import build_pccs_parameters
+from repro.core.model import PCCSModel
+from repro.profiling.pressure import sweep_pressure
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+from repro.workloads.roofline import pressure_levels
+
+LEVELS = 6
+
+
+def validation_errors(engine, pu_name, kernels, model, gables):
+    levels = pressure_levels(engine.soc.peak_bw, steps=LEVELS)
+    pccs_err, gables_err = [], []
+    for kernel in kernels:
+        sweep = sweep_pressure(engine, kernel, pu_name, external_levels=levels)
+        pccs_pred = [model.relative_speed(sweep.demand_bw, y) for y in levels]
+        gables_pred = [
+            gables.relative_speed(sweep.demand_bw, y) for y in levels
+        ]
+        pccs_err.append(mean_abs_error(pccs_pred, sweep.relative_speeds))
+        gables_err.append(mean_abs_error(gables_pred, sweep.relative_speeds))
+    n = len(kernels)
+    return sum(pccs_err) / n, sum(gables_err) / n
+
+
+class TestHeadlineXavier:
+    @pytest.fixture(scope="class")
+    def gables(self, xavier_engine):
+        return GablesModel(xavier_engine.soc.peak_bw)
+
+    def test_gpu_accuracy_and_ordering(
+        self, xavier_engine, xavier_gpu_model, gables
+    ):
+        kernels = [
+            rodinia_kernel(n, PUType.GPU)
+            for n in ("hotspot", "srad", "pathfinder", "streamcluster")
+        ]
+        pccs, gbl = validation_errors(
+            xavier_engine, "gpu", kernels, xavier_gpu_model, gables
+        )
+        assert pccs < 0.12  # paper: 6.3% average error
+        assert pccs < gbl  # paper: 6.3% vs 39%
+
+    def test_cpu_accuracy_and_ordering(
+        self, xavier_engine, xavier_cpu_model, gables
+    ):
+        kernels = [
+            rodinia_kernel(n, PUType.CPU)
+            for n in ("hotspot", "srad", "kmeans", "streamcluster")
+        ]
+        pccs, gbl = validation_errors(
+            xavier_engine, "cpu", kernels, xavier_cpu_model, gables
+        )
+        assert pccs < 0.12  # paper: 2.6%
+        assert pccs < gbl
+
+    def test_dla_accuracy_and_ordering(
+        self, xavier_engine, xavier_dla_params, gables
+    ):
+        from repro.workloads.dnn import dnn_model
+
+        model = PCCSModel(xavier_dla_params)
+        kernels = [dnn_model(n) for n in ("resnet50", "vgg19")]
+        pccs, gbl = validation_errors(
+            xavier_engine, "dla", kernels, model, gables
+        )
+        assert pccs < 0.12  # paper: 5.3%
+        assert pccs < gbl
+
+
+class TestHeadlineSnapdragon:
+    def test_both_pus(self, snapdragon_engine):
+        gables = GablesModel(snapdragon_engine.soc.peak_bw)
+        for pu_name, pu_type in (("gpu", PUType.GPU), ("cpu", PUType.CPU)):
+            model = PCCSModel(
+                build_pccs_parameters(snapdragon_engine, pu_name)
+            )
+            kernels = [
+                rodinia_kernel(n, pu_type)
+                for n in ("hotspot", "srad", "streamcluster")
+            ]
+            pccs, gbl = validation_errors(
+                snapdragon_engine, pu_name, kernels, model, gables
+            )
+            assert pccs < gbl, pu_name
+            assert pccs < 0.15, pu_name
+
+
+class TestThreeRegionShape:
+    """The ground-truth machine exhibits the Fig. 3 curve shapes."""
+
+    def test_medium_kernel_flat_drop_flat(self, xavier_engine):
+        from repro.workloads.roofline import calibrator_for_bandwidth
+
+        kernel, _ = calibrator_for_bandwidth(xavier_engine, "gpu", 60.0)
+        levels = pressure_levels(xavier_engine.soc.peak_bw, steps=10)
+        sweep = sweep_pressure(
+            xavier_engine, kernel, "gpu", external_levels=levels
+        )
+        speeds = sweep.relative_speeds
+        assert speeds[0] > 0.97  # flat start
+        assert min(speeds) < 0.9  # dropping phase exists
+        assert abs(speeds[-1] - speeds[-2]) < 0.02  # flat tail
+
+    def test_region_ordering_of_final_speeds(self, xavier_engine):
+        from repro.workloads.roofline import calibrator_for_bandwidth
+
+        finals = []
+        for target in (15.0, 60.0, 110.0):
+            kernel, _ = calibrator_for_bandwidth(xavier_engine, "gpu", target)
+            levels = pressure_levels(xavier_engine.soc.peak_bw, steps=4)
+            sweep = sweep_pressure(
+                xavier_engine, kernel, "gpu", external_levels=levels
+            )
+            finals.append(sweep.final_relative_speed)
+        assert finals[0] > finals[1] > finals[2]

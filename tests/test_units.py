@@ -1,0 +1,81 @@
+"""Unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    CACHELINE_BYTES,
+    as_percent,
+    bandwidth_gbps,
+    bytes_to_gb,
+    clamp,
+    gb_to_bytes,
+)
+
+
+class TestConversions:
+    def test_bytes_to_gb(self):
+        assert bytes_to_gb(1e9) == 1.0
+
+    def test_gb_to_bytes(self):
+        assert gb_to_bytes(2.5) == 2.5e9
+
+    def test_roundtrip(self):
+        assert bytes_to_gb(gb_to_bytes(7.25)) == pytest.approx(7.25)
+
+    def test_cacheline_is_64(self):
+        assert CACHELINE_BYTES == 64
+
+    def test_bandwidth_gbps(self):
+        assert bandwidth_gbps(1e9, 1.0) == pytest.approx(1.0)
+
+    def test_bandwidth_half_second(self):
+        assert bandwidth_gbps(1e9, 0.5) == pytest.approx(2.0)
+
+    def test_bandwidth_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            bandwidth_gbps(1e9, 0.0)
+
+    def test_bandwidth_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            bandwidth_gbps(1e9, -1.0)
+
+
+class TestPercent:
+    def test_basic(self):
+        assert as_percent(0.5) == "50.0%"
+
+    def test_digits(self):
+        assert as_percent(0.12345, digits=2) == "12.35%"
+
+    def test_one(self):
+        assert as_percent(1.0) == "100.0%"
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(-100, 100),
+        st.floats(0, 100),
+    )
+    def test_clamp_always_in_range(self, value, lo, width):
+        hi = lo + width
+        result = clamp(value, lo, hi)
+        assert lo <= result <= hi
+
+    @given(st.floats(-100, 100))
+    def test_clamp_identity_inside(self, value):
+        assert clamp(value, -100, 100) == value

@@ -1,0 +1,148 @@
+"""DNN layer models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.dnn import (
+    BYTES_PER_ELEMENT,
+    ConvLayer,
+    DNN_NAMES,
+    FCLayer,
+    dnn_model,
+    dnn_suite,
+    mnist_calibrator,
+)
+
+
+class TestConvLayer:
+    def test_flops_formula(self):
+        layer = ConvLayer("c", in_channels=3, out_channels=8, in_hw=10, kernel=3)
+        assert layer.flops == 2 * 3 * 3 * 3 * 8 * 10 * 10
+
+    def test_stride_shrinks_output(self):
+        layer = ConvLayer("c", 3, 8, 10, 3, stride=2)
+        assert layer.out_hw == 5
+
+    def test_traffic_counts_weights_and_activations(self):
+        layer = ConvLayer("c", 2, 4, 4, 3)
+        acts_in = 2 * 16
+        acts_out = 4 * 16
+        weights = 9 * 2 * 4
+        assert layer.traffic_bytes == (
+            acts_in + acts_out + weights
+        ) * BYTES_PER_ELEMENT
+
+
+class TestFCLayer:
+    def test_flops(self):
+        assert FCLayer("f", 100, 10).flops == 2000
+
+    def test_fc_is_weight_bound(self):
+        """Fully connected layers have tiny operational intensity."""
+        layer = FCLayer("f", 4096, 4096)
+        assert layer.flops / layer.traffic_bytes < 1.5
+
+
+class TestModels:
+    def test_catalog(self):
+        assert set(DNN_NAMES) == {"alexnet", "vgg19", "resnet50", "mobilenet"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            dnn_model("lenet")
+
+    def test_alexnet_phase_count(self):
+        assert len(dnn_model("alexnet").phases) == 8  # 5 conv + 3 fc
+
+    def test_vgg19_phase_count(self):
+        assert len(dnn_model("vgg19").phases) == 19  # 16 conv + 3 fc
+
+    def test_resnet50_has_53_convs_plus_fc(self):
+        model = dnn_model("resnet50")
+        convs = [p for p in model.phases if p.name != "fc"]
+        assert len(convs) == 53
+        assert model.phases[-1].name == "fc"
+
+    def test_vgg19_heavier_than_alexnet(self):
+        assert dnn_model("vgg19").total_flops > dnn_model("alexnet").total_flops
+
+    def test_batches_scale_work(self):
+        one = dnn_model("alexnet", batches=1)
+        ten = dnn_model("alexnet", batches=10)
+        assert ten.total_flops == pytest.approx(one.total_flops * 10)
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(WorkloadError):
+            dnn_model("alexnet", batches=0)
+
+    def test_suite(self):
+        assert set(dnn_suite()) == set(DNN_NAMES)
+
+    def test_per_layer_intensity_varies(self):
+        model = dnn_model("resnet50")
+        intensities = [p.op_intensity for p in model.phases]
+        assert max(intensities) > 10 * min(intensities)
+
+
+class TestMobilenet:
+    def test_phase_count(self):
+        # stem conv + 13 (depthwise + pointwise) blocks + fc
+        assert len(dnn_model("mobilenet").phases) == 28
+
+    def test_depthwise_lower_intensity_than_pointwise(self):
+        from repro.workloads.dnn import DepthwiseConvLayer, ConvLayer
+
+        dw = DepthwiseConvLayer("dw", channels=256, in_hw=28, kernel=3)
+        pw = ConvLayer("pw", 256, 256, 28, 1)
+        dw_intensity = dw.flops / dw.traffic_bytes
+        pw_intensity = pw.flops / pw.traffic_bytes
+        assert dw_intensity < pw_intensity / 5
+
+    def test_mobilenet_bandwidth_hungry_on_dla(self, xavier_engine):
+        """Depthwise layers starve compute: MobileNet runs close to the
+        DLA's bandwidth limit despite its small FLOP count."""
+        demand = xavier_engine.standalone_demand(
+            dnn_model("mobilenet"), "dla"
+        )
+        assert demand > 25.0
+
+    def test_mobilenet_fewest_flops(self):
+        flops = {
+            name: dnn_model(name).total_flops
+            for name in ("mobilenet", "vgg19", "resnet50")
+        }
+        assert flops["mobilenet"] == min(flops.values())
+
+
+class TestMnistCalibrator:
+    def test_filter_size_raises_intensity(self):
+        small = mnist_calibrator(1)
+        large = mnist_calibrator(7)
+        assert large.op_intensity > small.op_intensity
+
+    def test_filter_bounds(self):
+        with pytest.raises(WorkloadError):
+            mnist_calibrator(0)
+        with pytest.raises(WorkloadError):
+            mnist_calibrator(15)
+
+    def test_calibrator_demands_sweep_dla(self, xavier_engine):
+        """Bigger filters -> lower DLA bandwidth demand: the paper's DLA
+        calibration knob works."""
+        demands = [
+            xavier_engine.standalone_demand(mnist_calibrator(f), "dla")
+            for f in (1, 3, 5, 9)
+        ]
+        assert demands == sorted(demands, reverse=True)
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(WorkloadError):
+            mnist_calibrator(3, batches=0)
+
+
+class TestDLADemands:
+    def test_networks_in_paper_range(self, xavier_engine):
+        """Paper: 'the DLA can only achieve 20-30GB/s in most runs'."""
+        for name in DNN_NAMES:
+            demand = xavier_engine.standalone_demand(dnn_model(name), "dla")
+            assert 15.0 <= demand <= 31.0, name

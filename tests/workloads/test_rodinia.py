@@ -1,0 +1,125 @@
+"""Rodinia benchmark models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import (
+    CPU_VALIDATION_SET,
+    RODINIA_NAMES,
+    is_compute_intensive,
+    rodinia_kernel,
+    rodinia_suite,
+)
+
+
+class TestCatalog:
+    def test_ten_benchmarks(self):
+        assert len(RODINIA_NAMES) == 10  # the paper's selection
+
+    def test_paper_names_present(self):
+        for name in (
+            "hotspot",
+            "leukocyte",
+            "heartwall",
+            "streamcluster",
+            "pathfinder",
+            "srad",
+            "kmeans",
+            "b+tree",
+            "bfs",
+            "cfd",
+        ):
+            assert name in RODINIA_NAMES
+
+    def test_cpu_validation_set_is_papers_five(self):
+        assert set(CPU_VALIDATION_SET) == {
+            "streamcluster",
+            "pathfinder",
+            "kmeans",
+            "hotspot",
+            "srad",
+        }
+
+    def test_compute_intensive_classification(self):
+        assert is_compute_intensive("hotspot")
+        assert is_compute_intensive("leukocyte")
+        assert is_compute_intensive("heartwall")
+        assert not is_compute_intensive("bfs")
+        assert not is_compute_intensive("cfd")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            rodinia_kernel("quicksort", PUType.GPU)
+        with pytest.raises(WorkloadError):
+            is_compute_intensive("quicksort")
+
+    def test_dla_rejected(self):
+        with pytest.raises(WorkloadError):
+            rodinia_kernel("bfs", PUType.DLA)
+
+
+class TestKernels:
+    def test_cfd_has_four_phases(self):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        assert [p.name for p in cfd.phases] == ["K1", "K2", "K3", "K4"]
+
+    def test_cfd_k1_is_highest_bandwidth(self):
+        cfd = rodinia_kernel("cfd", PUType.GPU)
+        intensities = [p.op_intensity for p in cfd.phases]
+        assert intensities[0] == min(intensities)  # lowest OI = highest BW
+
+    def test_bfs_has_poor_locality(self):
+        bfs = rodinia_kernel("bfs", PUType.GPU)
+        others = rodinia_kernel("pathfinder", PUType.GPU)
+        assert bfs.phases[0].locality < others.phases[0].locality
+
+    def test_per_pu_intensities_differ(self):
+        gpu = rodinia_kernel("srad", PUType.GPU)
+        cpu = rodinia_kernel("srad", PUType.CPU)
+        assert gpu.op_intensity != cpu.op_intensity
+
+    def test_traffic_controls_length(self):
+        small = rodinia_kernel("srad", PUType.GPU, traffic_gb=0.1)
+        large = rodinia_kernel("srad", PUType.GPU, traffic_gb=1.0)
+        assert large.total_bytes == pytest.approx(small.total_bytes * 10)
+
+    def test_zero_traffic_rejected(self):
+        with pytest.raises(WorkloadError):
+            rodinia_kernel("srad", PUType.GPU, traffic_gb=0.0)
+
+    def test_suite_selection(self):
+        suite = rodinia_suite(PUType.CPU, CPU_VALIDATION_SET)
+        assert set(suite) == set(CPU_VALIDATION_SET)
+
+    def test_full_suite(self):
+        assert set(rodinia_suite(PUType.GPU)) == set(RODINIA_NAMES)
+
+
+class TestEmergentDemands:
+    """Demands on the simulated Xavier must land in the paper's groups."""
+
+    def test_compute_intensive_land_in_minor_region(
+        self, xavier_engine, xavier_gpu_params
+    ):
+        for name in ("hotspot", "leukocyte", "heartwall"):
+            kernel = rodinia_kernel(name, PUType.GPU)
+            demand = xavier_engine.standalone_demand(kernel, "gpu")
+            assert demand <= xavier_gpu_params.normal_bw * 1.1, name
+
+    def test_memory_intensive_demand_higher(self, xavier_engine):
+        compute = xavier_engine.standalone_demand(
+            rodinia_kernel("hotspot", PUType.GPU), "gpu"
+        )
+        memory = xavier_engine.standalone_demand(
+            rodinia_kernel("pathfinder", PUType.GPU), "gpu"
+        )
+        assert memory > compute * 3
+
+    def test_streamcluster_memory_bound_on_gpu(self, xavier_engine):
+        """Section 4.3 requires streamcluster near the GPU's bandwidth
+        limit at the top clock."""
+        demand = xavier_engine.standalone_demand(
+            rodinia_kernel("streamcluster", PUType.GPU), "gpu"
+        )
+        assert demand > 85.0

@@ -1,0 +1,35 @@
+"""Workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.soc.spec import PUType
+from repro.workloads.suite import lookup, workload_names
+
+
+class TestLookup:
+    def test_rodinia_needs_pu_type(self):
+        with pytest.raises(WorkloadError):
+            lookup("srad")
+
+    def test_rodinia_with_pu_type(self):
+        assert lookup("srad", PUType.GPU).name == "srad"
+
+    def test_dnn_ignores_pu_type(self):
+        assert lookup("resnet50").name == "resnet50"
+
+    def test_calibrator_spec(self):
+        k = lookup("cal:2.5")
+        assert k.op_intensity == pytest.approx(2.5)
+
+    def test_bad_calibrator_spec(self):
+        with pytest.raises(WorkloadError):
+            lookup("cal:abc")
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            lookup("doom")
+
+    def test_names_catalog(self):
+        names = workload_names()
+        assert "rodinia" in names and "dnn" in names
