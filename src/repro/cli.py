@@ -94,6 +94,8 @@ def _cmd_experiment(args) -> int:
         forwarded.append("--all")
     if args.out:
         forwarded.extend(["--out", args.out])
+    if args.jobs != 1:
+        forwarded.extend(["--jobs", str(args.jobs)])
     return runner_main(forwarded)
 
 
@@ -133,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*")
     p.add_argument("--all", action="store_true")
     p.add_argument("--out")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiments and sweeps (default: 1)",
+    )
     p.set_defaults(func=_cmd_experiment)
     return parser
 

@@ -91,6 +91,7 @@ class CoreState:
     inflight: int = 0
     blocked: bool = False
     gen_pending: bool = False
+    buffer_waiting: bool = False
     finish_ns: Optional[float] = None
 
     def __post_init__(self) -> None:

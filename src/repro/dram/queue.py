@@ -1,0 +1,78 @@
+"""Channel request queue with O(1) removal and a per-(bank, row) index.
+
+The event loop's hot operations on a channel queue are: append on
+arrival, remove-by-identity on dispatch, and (for FR-FCFS-family
+policies) "which queued requests hit an open row?". A plain list makes
+the latter two O(queue length) — ``list.remove`` shifts the tail and
+the row-hit scan touches every request. :class:`ChannelQueue` keeps
+
+- the requests in an unordered slot array with a ``req_id -> slot``
+  map, so removal is a swap-pop;
+- a ``(bank, row) -> {req_id: request}`` index, so open-row hits are
+  found by probing each distinct queued (bank, row) group instead of
+  scanning the whole queue.
+
+Iteration order is therefore *not* arrival order. That is safe because
+every scheduler selection is order-independent: candidates are reduced
+with ``min`` over the unique ``(arrival_ns, req_id)`` key (or sorted
+outright), never by position. Equivalence tests run the simulator with
+plain-list queues (the seed behaviour) and assert bit-identical
+``SimResult``s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.dram.bank import ChannelState
+from repro.dram.request import Request
+
+
+class ChannelQueue:
+    """Set-like request container used as one channel's queue."""
+
+    __slots__ = ("_items", "_slots", "_rows")
+
+    def __init__(self) -> None:
+        self._items: List[Request] = []
+        self._slots: Dict[int, int] = {}
+        self._rows: Dict[Tuple[int, int], Dict[int, Request]] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._items)
+
+    def append(self, request: Request) -> None:
+        self._slots[request.req_id] = len(self._items)
+        self._items.append(request)
+        self._rows.setdefault((request.bank, request.row), {})[
+            request.req_id
+        ] = request
+
+    def remove(self, request: Request) -> None:
+        """Swap-pop removal; raises ``KeyError`` if the request is absent."""
+        slot = self._slots.pop(request.req_id)
+        last = self._items.pop()
+        if last.req_id != request.req_id:
+            self._items[slot] = last
+            self._slots[last.req_id] = slot
+        key = (request.bank, request.row)
+        group = self._rows[key]
+        del group[request.req_id]
+        if not group:
+            del self._rows[key]
+
+    def open_row_hits(self, channel: ChannelState) -> List[Request]:
+        """Queued requests whose bank currently has their row open.
+
+        Probes each distinct queued (bank, row) group once — the same
+        hit set a full ``channel.is_row_hit`` scan would produce (bank
+        state is materialised per probed bank, exactly like the scan).
+        """
+        hits: List[Request] = []
+        for (bank_index, row), group in self._rows.items():
+            if channel.bank(bank_index).open_row == row:
+                hits.extend(group.values())
+        return hits

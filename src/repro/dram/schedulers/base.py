@@ -46,7 +46,16 @@ class Scheduler:
     def row_hits(
         requests: Sequence[Request], channel: ChannelState
     ) -> List[Request]:
-        """Requests that would hit their bank's open row."""
+        """Requests that would hit their bank's open row.
+
+        A whole-queue container with a per-(bank, row) index (see
+        :class:`repro.dram.queue.ChannelQueue`) answers this by probing
+        each open row directly; filtered subsets fall back to the scan.
+        Either way the same hit set is produced.
+        """
+        indexed_hits = getattr(requests, "open_row_hits", None)
+        if indexed_hits is not None:
+            return indexed_hits(channel)
         return [r for r in requests if channel.is_row_hit(r)]
 
     def hit_first_oldest(

@@ -70,9 +70,17 @@ class SMSScheduler(Scheduler):
         # light applications cut ahead of bandwidth hogs.
         batches = {core: self._head_batch(rs) for core, rs in by_core.items()}
         if self._rng.random() < _SJF_PROBABILITY:
+            # Final req_id tie-break: with queues whose iteration order
+            # is not arrival order, ties on (backlog, head arrival) must
+            # not fall through to dict insertion order. req_ids ascend
+            # with arrival, so this picks the same core a FIFO scan did.
             core = min(
                 batches,
-                key=lambda c: (len(by_core[c]), batches[c][0].arrival_ns),
+                key=lambda c: (
+                    len(by_core[c]),
+                    batches[c][0].arrival_ns,
+                    batches[c][0].req_id,
+                ),
             )
         else:
             cores = sorted(batches)

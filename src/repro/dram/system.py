@@ -9,19 +9,51 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.dram.address import AddressMapper
 from repro.dram.bank import ChannelState
 from repro.dram.cores import CoreConfig, CoreState, staggered_base
 from repro.dram.metrics import DramMetrics
+from repro.dram.queue import ChannelQueue
 from repro.dram.request import Request
 from repro.dram.schedulers import make_scheduler
 from repro.dram.timing import DDR4_3200, DramTiming
 from repro.errors import SimulationError
 
 _GEN, _SERVE, _COMPLETE = 0, 1, 2
+
+
+class BufferWaitQueue:
+    """FIFO of cores stalled on a full controller request buffer.
+
+    Enqueueing is idempotent — a core appears at most once, tracked by
+    its ``buffer_waiting`` flag instead of an O(n) membership scan —
+    and :meth:`pop` releases cores in the order they blocked, so buffer
+    space frees up fairly.
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        self._waiters: "deque[CoreState]" = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def add(self, state: CoreState) -> None:
+        if not state.buffer_waiting:
+            state.buffer_waiting = True
+            self._waiters.append(state)
+
+    def pop(self) -> Optional[CoreState]:
+        if not self._waiters:
+            return None
+        state = self._waiters.popleft()
+        state.buffer_waiting = False
+        return state
 
 
 @dataclass(frozen=True)
@@ -87,6 +119,11 @@ class CMPSystem:
     seed:
         Seed for stochastic policies (TCM shuffle, SMS probabilistic
         stage); the engine itself is deterministic.
+    queue_factory:
+        Channel queue container. The default :class:`ChannelQueue`
+        gives O(1) removal and indexed open-row lookup; ``list``
+        restores the seed's linear-scan behaviour (kept for debugging
+        and for the equivalence tests — results are bit-identical).
     """
 
     def __init__(
@@ -94,10 +131,12 @@ class CMPSystem:
         timing: DramTiming = DDR4_3200,
         policy: str = "frfcfs",
         seed: int = 0,
+        queue_factory: Callable[[], object] = ChannelQueue,
     ):
         self.timing = timing
         self.policy_name = policy
         self.seed = seed
+        self.queue_factory = queue_factory
         self.mapper = AddressMapper(timing)
 
     # ------------------------------------------------------------------
@@ -129,12 +168,12 @@ class CMPSystem:
             ChannelState(index=i, timing=self.timing)
             for i in range(self.timing.channels)
         ]
-        queues: List[List[Request]] = [[] for _ in channels]
+        queues = [self.queue_factory() for _ in channels]
         serve_scheduled = [False] * len(channels)
         metrics = DramMetrics()
         buffer_used = 0
         buffer_cap = self.timing.request_buffer
-        buffer_waiters: List[int] = []
+        buffer_waiters = BufferWaitQueue()
         must_finish = (
             set(stop_cores) if stop_cores is not None else set(range(len(cores)))
         )
@@ -191,8 +230,7 @@ class CMPSystem:
                         break
                     if buffer_used >= buffer_cap:
                         state.blocked = True
-                        if payload not in buffer_waiters:
-                            buffer_waiters.append(payload)
+                        buffer_waiters.add(state)
                         break
                     state.blocked = False
                     address, is_write = state.next_access()
@@ -257,10 +295,10 @@ class CMPSystem:
                 else:
                     push(completion, _COMPLETE, request.core)
                 wake_channel(ch, now)
-                while buffer_waiters and buffer_used < buffer_cap:
-                    waiter = buffer_waiters.pop(0)
-                    if states[waiter].blocked:
-                        push_gen(now, waiter)
+                while len(buffer_waiters) and buffer_used < buffer_cap:
+                    waiter = buffer_waiters.pop()
+                    if waiter.blocked:
+                        push_gen(now, waiter.index)
             else:  # _COMPLETE
                 state = states[payload]
                 state.inflight -= 1

@@ -25,7 +25,7 @@ from repro.experiments.common import (
     gables_model_for,
     pccs_model_for,
 )
-from repro.profiling.pressure import sweep_pressure
+from repro.perf import PressureSweepJob, parallel_map
 from repro.soc.spec import PUType
 from repro.workloads.rodinia import CPU_VALIDATION_SET, RODINIA_NAMES, rodinia_kernel
 from repro.workloads.roofline import pressure_levels
@@ -131,8 +131,14 @@ def run_validation(
     figure: str,
     steps: int = 10,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> RodiniaValidationResult:
-    """Run one of figs. 8-11 (see :data:`FIGURES`)."""
+    """Run one of figs. 8-11 (see :data:`FIGURES`).
+
+    ``jobs`` fans the per-benchmark pressure sweeps (the expensive part)
+    out across processes; ``None`` uses the runner's ``--jobs`` default
+    and ``1`` is strictly serial. Results are identical either way.
+    """
     soc_name, pu_name, default_benchmarks = FIGURES[figure]
     names = tuple(benchmarks) if benchmarks is not None else default_benchmarks
     engine = engine_for(soc_name)
@@ -141,10 +147,16 @@ def run_validation(
     levels = pressure_levels(engine.soc.peak_bw, steps=steps)
     pu_type = PUType.CPU if pu_name == "cpu" else PUType.GPU
 
+    kernels = [rodinia_kernel(name, pu_type) for name in names]
+    sweeps = parallel_map(
+        [
+            PressureSweepJob(soc_name, kernel, pu_name, tuple(levels))
+            for kernel in kernels
+        ],
+        max_workers=jobs,
+    )
     out = []
-    for name in names:
-        kernel = rodinia_kernel(name, pu_type)
-        sweep = sweep_pressure(engine, kernel, pu_name, external_levels=levels)
+    for name, kernel, sweep in zip(names, kernels, sweeps):
         profile = engine.profile(kernel, pu_name)
         if kernel.is_multiphase:
             demands, weights = phase_inputs_from_profile(profile)
@@ -176,17 +188,17 @@ def run_validation(
     )
 
 
-def run_fig8(steps: int = 10) -> RodiniaValidationResult:
-    return run_validation("fig8", steps=steps)
+def run_fig8(steps: int = 10, jobs: Optional[int] = None) -> RodiniaValidationResult:
+    return run_validation("fig8", steps=steps, jobs=jobs)
 
 
-def run_fig9(steps: int = 10) -> RodiniaValidationResult:
-    return run_validation("fig9", steps=steps)
+def run_fig9(steps: int = 10, jobs: Optional[int] = None) -> RodiniaValidationResult:
+    return run_validation("fig9", steps=steps, jobs=jobs)
 
 
-def run_fig10(steps: int = 10) -> RodiniaValidationResult:
-    return run_validation("fig10", steps=steps)
+def run_fig10(steps: int = 10, jobs: Optional[int] = None) -> RodiniaValidationResult:
+    return run_validation("fig10", steps=steps, jobs=jobs)
 
 
-def run_fig11(steps: int = 10) -> RodiniaValidationResult:
-    return run_validation("fig11", steps=steps)
+def run_fig11(steps: int = 10, jobs: Optional[int] = None) -> RodiniaValidationResult:
+    return run_validation("fig11", steps=steps, jobs=jobs)

@@ -56,15 +56,20 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
-def run_experiment(name: str) -> str:
-    """Run one experiment by name and return its rendered report."""
+def get_runner(name: str) -> Callable[[], object]:
+    """Look up an experiment runner, with the canonical unknown-name error."""
     runner = EXPERIMENTS.get(name)
     if runner is None:
         raise KeyError(
             f"unknown experiment {name!r}; available: "
             f"{', '.join(sorted(EXPERIMENTS))}"
         )
-    return runner().render()
+    return runner
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered report."""
+    return get_runner(name)().render()
 
 
 def collect_series(result) -> Dict[str, list]:
@@ -73,7 +78,8 @@ def collect_series(result) -> Dict[str, list]:
     Duck-typed over the result shapes used by the figure experiments:
     ``.series`` (flat list), ``.panels`` / ``.curves`` (named groups of
     series). Returns ``{csv_stem: [Series, ...]}``; empty for table-style
-    results.
+    results. Group keys that sanitise to an already-used stem get a
+    numeric suffix so no group is silently dropped.
     """
     out: Dict[str, list] = {}
     series = getattr(result, "series", None)
@@ -84,6 +90,11 @@ def collect_series(result) -> Dict[str, list]:
         if groups:
             for key, group in groups:
                 stem = str(key).replace(" ", "_").replace("/", "-")
+                if stem in out:
+                    suffix = 2
+                    while f"{stem}_{suffix}" in out:
+                        suffix += 1
+                    stem = f"{stem}_{suffix}"
                 out[stem] = list(group)
     return out
 
@@ -113,39 +124,80 @@ def main(argv=None) -> int:
         action="store_true",
         help="also save figure series as CSV files (needs --out)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes: fans experiments (and, for a single "
+            "experiment, its internal sweeps) across cores; results are "
+            "identical to --jobs 1"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     names = list(EXPERIMENTS) if args.all else args.names
     if not names:
         parser.print_help()
         return 2
+    for name in names:
+        get_runner(name)  # fail fast before any work is dispatched
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        start = time.time()
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            raise KeyError(
-                f"unknown experiment {name!r}; available: "
-                f"{', '.join(sorted(EXPERIMENTS))}"
+
+    from repro.perf import (
+        ExperimentJob,
+        default_max_workers,
+        parallel_map,
+        set_default_max_workers,
+    )
+
+    # Sweeps inside a single experiment pick this default up.
+    previous_default = default_max_workers()
+    set_default_max_workers(args.jobs)
+    try:
+        if args.jobs > 1 and len(names) > 1:
+            outcomes = parallel_map(
+                [
+                    ExperimentJob(
+                        name,
+                        out_dir=str(out_dir) if out_dir else None,
+                        csv=args.csv,
+                    )
+                    for name in names
+                ],
+                max_workers=args.jobs,
             )
-        result = runner()
-        report = result.render()
-        elapsed = time.time() - start
-        banner = f"==== {name} ({elapsed:.1f}s) ===="
-        print(banner)
-        print(report)
-        print()
-        if out_dir:
-            (out_dir / f"{name}.txt").write_text(report + "\n")
-            if args.csv:
-                save_result_csvs(name, result, out_dir)
-    return 0
+            for outcome in outcomes:
+                print(f"==== {outcome.name} ({outcome.elapsed:.1f}s) ====")
+                print(outcome.report)
+                print()
+            return 0
+
+        for name in names:
+            start = time.time()
+            result = get_runner(name)()
+            report = result.render()
+            elapsed = time.time() - start
+            banner = f"==== {name} ({elapsed:.1f}s) ===="
+            print(banner)
+            print(report)
+            print()
+            if out_dir:
+                (out_dir / f"{name}.txt").write_text(report + "\n")
+                if args.csv:
+                    save_result_csvs(name, result, out_dir)
+        return 0
+    finally:
+        set_default_max_workers(previous_default)
 
 
 if __name__ == "__main__":

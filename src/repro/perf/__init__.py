@@ -1,0 +1,29 @@
+"""Performance layer: parallel sweep execution for the experiment stack.
+
+Public surface:
+
+- :func:`parallel_map` — order-preserving process-parallel job map with
+  a serial fallback (``max_workers <= 1``);
+- :func:`set_default_max_workers` / :func:`default_max_workers` — the
+  process-global ``--jobs`` default experiments consult;
+- :class:`PressureSweepJob` / :class:`ExperimentJob` — the standard
+  picklable jobs fanned out by the sweeps and the experiment runner.
+"""
+
+from repro.perf.executor import (
+    Job,
+    default_max_workers,
+    parallel_map,
+    set_default_max_workers,
+)
+from repro.perf.jobs import ExperimentJob, ExperimentOutcome, PressureSweepJob
+
+__all__ = [
+    "Job",
+    "default_max_workers",
+    "parallel_map",
+    "set_default_max_workers",
+    "ExperimentJob",
+    "ExperimentOutcome",
+    "PressureSweepJob",
+]

@@ -1,0 +1,72 @@
+"""Process-parallel job execution for the experiment pipeline.
+
+Every headline artifact is a sweep of hundreds of independent co-run
+simulations; this module fans them out across cores. A *job* is any
+picklable object with a ``run()`` method returning a picklable result
+(:mod:`repro.perf.jobs` provides the standard ones). ``parallel_map``
+preserves input order and falls back to plain in-process execution for
+``max_workers <= 1``, so serial and parallel paths run byte-identical
+code on byte-identical inputs — the simulations are pure, deterministic
+float math, and the results do not depend on which process computed
+them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Protocol, TypeVar, runtime_checkable
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+_DEFAULT_MAX_WORKERS = 1
+
+
+@runtime_checkable
+class Job(Protocol):
+    """Anything picklable with a no-argument ``run``."""
+
+    def run(self) -> object: ...
+
+
+def set_default_max_workers(n: int) -> None:
+    """Set the process-global worker default (the CLI's ``--jobs``).
+
+    Experiments consult this when no explicit ``jobs`` argument is
+    given, so one flag at the entry point parallelises every sweep
+    downstream of it.
+    """
+    global _DEFAULT_MAX_WORKERS
+    if n < 1:
+        raise SimulationError(f"max workers must be >= 1, got {n}")
+    _DEFAULT_MAX_WORKERS = n
+
+
+def default_max_workers() -> int:
+    """The current process-global worker default (1 = serial)."""
+    return _DEFAULT_MAX_WORKERS
+
+
+def _run_job(job: Job) -> object:
+    return job.run()
+
+
+def parallel_map(
+    jobs: Iterable[Job], max_workers: Optional[int] = None
+) -> List[object]:
+    """Run every job and return their results in input order.
+
+    ``max_workers <= 1`` (or a single job) executes serially in this
+    process — the fallback used by default and under nested
+    parallelism. Otherwise the jobs are distributed over a
+    ``ProcessPoolExecutor``; worker exceptions propagate to the caller.
+    """
+    job_list = list(jobs)
+    if max_workers is None:
+        max_workers = default_max_workers()
+    if max_workers <= 1 or len(job_list) <= 1:
+        return [job.run() for job in job_list]
+    workers = min(max_workers, len(job_list))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(_run_job, job_list))

@@ -1,0 +1,85 @@
+"""Picklable units of work for :func:`repro.perf.parallel_map`.
+
+Jobs carry only cheap, immutable descriptions (SoC names, kernel specs,
+experiment names); each worker process rebuilds the heavy state (engines,
+calibrated models) from the same deterministic constructors the serial
+path uses, so results are bit-identical regardless of where a job ran.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.workloads.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class PressureSweepJob:
+    """One victim kernel's full external-pressure sweep on one PU."""
+
+    soc_name: str
+    kernel: KernelSpec
+    pu_name: str
+    levels: Tuple[float, ...]
+    pressure_pu: Optional[str] = None
+
+    def run(self):
+        from repro.experiments.common import engine_for
+        from repro.profiling.pressure import sweep_pressure
+
+        return sweep_pressure(
+            engine_for(self.soc_name),
+            self.kernel,
+            self.pu_name,
+            external_levels=self.levels,
+            pressure_pu=self.pressure_pu,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """What an :class:`ExperimentJob` sends back to the coordinator."""
+
+    name: str
+    report: str
+    elapsed: float
+    csv_count: int = 0
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """Run one registered experiment end to end (render + optional save).
+
+    Output files are written by the worker itself so the coordinator
+    only ships a rendered report string back across the pipe.
+    """
+
+    name: str
+    out_dir: Optional[str] = None
+    csv: bool = False
+
+    def run(self) -> ExperimentOutcome:
+        from pathlib import Path
+
+        from repro.experiments.runner import get_runner, save_result_csvs
+        from repro.perf.executor import set_default_max_workers
+
+        # This job is the unit of parallelism: never fork a nested pool
+        # (the forked child inherits the parent's --jobs default).
+        set_default_max_workers(1)
+        start = time.time()
+        result = get_runner(self.name)()
+        report = result.render()
+        elapsed = time.time() - start
+        csv_count = 0
+        if self.out_dir is not None:
+            out_dir = Path(self.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{self.name}.txt").write_text(report + "\n")
+            if self.csv:
+                csv_count = save_result_csvs(self.name, result, out_dir)
+        return ExperimentOutcome(
+            name=self.name, report=report, elapsed=elapsed, csv_count=csv_count
+        )

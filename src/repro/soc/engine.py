@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.soc.memsys import SharedMemorySystem
+from repro.soc.memsys import SharedMemorySystem, StreamDemand, StreamGrant
 from repro.soc.pu import (
     StandaloneProfile,
     profile_kernel,
@@ -24,6 +24,22 @@ from repro.soc.spec import SoCSpec
 from repro.workloads.kernel import KernelSpec
 
 _MIN_RATE = 1e-12
+
+
+@dataclass
+class ResolveCacheStats:
+    """Hit/miss counters of the engine's steady-state resolve cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
 
 
 @dataclass
@@ -153,9 +169,23 @@ class CoRunEngine:
         Optional override of the shared memory model — e.g. a
         :class:`repro.soc.multimc.PartitionedMemorySystem` for multi-MC
         designs. Defaults to the single-controller model.
+    resolve_cache:
+        Memoise ``memory.resolve`` on the active stream signature. The
+        steady state is a pure function of the competing stream demands,
+        and the active (PU, phase) set only changes at phase boundaries,
+        so event steps between boundaries re-request identical
+        signatures. Disable (``False``) to force a fresh fixed-point
+        solve per event step when debugging the memory model; results
+        are bit-identical either way. Statistics are exposed via
+        :attr:`resolve_stats`.
     """
 
-    def __init__(self, soc: SoCSpec, memory_system=None):
+    def __init__(
+        self,
+        soc: SoCSpec,
+        memory_system=None,
+        resolve_cache: bool = True,
+    ):
         self.soc = soc
         self.memory = (
             memory_system
@@ -163,6 +193,10 @@ class CoRunEngine:
             else SharedMemorySystem(soc.peak_bw, soc.mc)
         )
         self._profiles: Dict[Tuple[str, KernelSpec], StandaloneProfile] = {}
+        self._resolve_cache: Optional[
+            Dict[Tuple[StreamDemand, ...], Tuple[StreamGrant, ...]]
+        ] = {} if resolve_cache else None
+        self.resolve_stats = ResolveCacheStats()
 
     # ------------------------------------------------------------------
     # Standalone
@@ -183,6 +217,35 @@ class CoRunEngine:
     def standalone_demand(self, kernel: KernelSpec, pu_name: str) -> float:
         """Time-averaged standalone BW demand (GB/s), the PCCS input."""
         return self.profile(kernel, pu_name).avg_demand
+
+    # ------------------------------------------------------------------
+    # Steady-state resolve cache
+    # ------------------------------------------------------------------
+    def clear_resolve_cache(self) -> None:
+        """Drop memoised steady states (counters are kept)."""
+        if self._resolve_cache is not None:
+            self._resolve_cache.clear()
+
+    def _resolve(
+        self, streams: List[StreamDemand]
+    ) -> Tuple[StreamGrant, ...]:
+        """``memory.resolve``, memoised on the active stream signature.
+
+        ``StreamDemand`` is a frozen dataclass fully determined by the
+        owning PU and the phase profile, so the tuple of active streams
+        *is* the (PU, phase) signature of the event step.
+        """
+        if self._resolve_cache is None:
+            return tuple(self.memory.resolve(streams))
+        key = tuple(streams)
+        grants = self._resolve_cache.get(key)
+        if grants is None:
+            grants = tuple(self.memory.resolve(streams))
+            self._resolve_cache[key] = grants
+            self.resolve_stats.misses += 1
+        else:
+            self.resolve_stats.hits += 1
+        return grants
 
     # ------------------------------------------------------------------
     # Co-run
@@ -255,7 +318,7 @@ class CoRunEngine:
                 )
                 for n in runnable
             ]
-            grants = self.memory.resolve(streams)
+            grants = self._resolve(streams)
             rates = {
                 n: max(g.granted, _MIN_RATE) for n, g in zip(runnable, grants)
             }

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.runner import (
     EXPERIMENTS,
     collect_series,
+    get_runner,
     main,
     run_experiment,
     save_result_csvs,
@@ -37,6 +38,18 @@ class TestRegistry:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):
             run_experiment("fig99")
+
+    def test_get_runner_known(self):
+        assert get_runner("fig8") is EXPERIMENTS["fig8"]
+
+    def test_get_runner_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="available:.*fig8"):
+            get_runner("fig99")
+
+    def test_main_unknown_name_fails_before_running(self, capsys):
+        with pytest.raises(KeyError, match="fig99"):
+            main(["fig2", "fig99"])
+        assert "====" not in capsys.readouterr().out
 
 
 class TestMain:
@@ -79,6 +92,23 @@ class TestCollectSeries:
         from repro.experiments.table7 import run_table7
 
         assert collect_series(run_table7(platforms=("xavier-agx",))) == {}
+
+    def test_colliding_stems_are_disambiguated(self):
+        class FakeResult:
+            panels = [
+                ("mode a", ["s1"]),
+                ("mode_a", ["s2"]),
+                ("mode/a", ["s3"]),
+            ]
+
+        groups = collect_series(FakeResult())
+        # "mode a" and "mode_a" both sanitise to "mode_a"; no group may
+        # be silently dropped.
+        assert groups == {
+            "mode_a": ["s1"],
+            "mode_a_2": ["s2"],
+            "mode-a": ["s3"],
+        }
 
     def test_save_csvs_counts(self, tmp_path):
         from repro.experiments.fig6 import run_fig6

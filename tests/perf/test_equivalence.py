@@ -1,0 +1,135 @@
+"""Fast paths must be invisible: cached/parallel == uncached/serial.
+
+The tentpole contract is bit-identical results — the resolve cache and
+the process-parallel sweep executor may only change wall-clock time,
+never a single reported number.
+"""
+
+import filecmp
+
+import pytest
+
+from repro.experiments import common
+from repro.soc.configs import available_socs, soc_by_name
+from repro.soc.engine import CoRunEngine
+from repro.soc.spec import PUType
+from repro.workloads.kernel import KernelSpec, Phase
+from repro.workloads.rodinia import rodinia_kernel
+from repro.workloads.roofline import calibrator_for_bandwidth
+
+
+def _engines(soc_name):
+    soc = soc_by_name(soc_name)
+    return (
+        CoRunEngine(soc),
+        CoRunEngine(soc_by_name(soc_name), resolve_cache=False),
+    )
+
+
+MULTIPHASE = KernelSpec(
+    name="zigzag",
+    phases=(
+        Phase("stream", flops=1e9, traffic_bytes=4e9, locality=1.0),
+        Phase("compute", flops=8e11, traffic_bytes=1e9, locality=0.9),
+        Phase("scatter", flops=2e9, traffic_bytes=2e9, locality=0.5),
+    ),
+)
+
+
+class TestResolveCacheEquivalence:
+    @pytest.mark.parametrize("soc_name", sorted(available_socs()))
+    def test_corun_identical_across_socs(self, soc_name):
+        cached, plain = _engines(soc_name)
+        pus = cached.soc.pu_names
+        placements = {
+            pu: rodinia_kernel(
+                "cfd" if pu != "cpu" else "streamcluster",
+                PUType.CPU if pu == "cpu" else PUType.GPU,
+            )
+            for pu in pus[:2]
+        }
+        a = cached.corun(placements, until="all", record_timeline=True)
+        b = plain.corun(placements, until="all", record_timeline=True)
+        assert a == b
+        assert cached.resolve_stats.misses > 0
+
+    def test_multiphase_looping_identical(self):
+        cached, plain = _engines("xavier-agx")
+        generator, _ = calibrator_for_bandwidth(cached, "cpu", 18.0)
+        plain_gen, _ = calibrator_for_bandwidth(plain, "cpu", 18.0)
+        assert generator == plain_gen
+        placements = {"gpu": MULTIPHASE, "cpu": generator}
+        for _ in range(2):  # second round runs fully from cache
+            a = cached.corun(placements, looping={"cpu"}, record_timeline=True)
+            b = plain.corun(placements, looping={"cpu"}, record_timeline=True)
+            assert a == b
+        assert cached.resolve_stats.hits > 0
+        assert plain.resolve_stats.calls == 0
+
+    def test_cache_hits_accumulate_across_event_steps(self):
+        cached, _ = _engines("xavier-agx")
+        generator, _ = calibrator_for_bandwidth(cached, "cpu", 25.0)
+        cached.corun({"gpu": MULTIPHASE, "cpu": generator}, looping={"cpu"})
+        stats = cached.resolve_stats
+        # The active set only changes at phase boundaries: far fewer
+        # distinct signatures than event steps.
+        assert stats.hits > 0
+        assert stats.misses < stats.calls
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_clear_resolve_cache(self):
+        cached, _ = _engines("xavier-agx")
+        generator, _ = calibrator_for_bandwidth(cached, "cpu", 25.0)
+        placements = {"gpu": MULTIPHASE, "cpu": generator}
+        first = cached.corun(placements, looping={"cpu"})
+        misses = cached.resolve_stats.misses
+        cached.clear_resolve_cache()
+        again = cached.corun(placements, looping={"cpu"})
+        assert again == first
+        assert cached.resolve_stats.misses == 2 * misses
+
+
+class TestParallelSweepEquivalence:
+    def test_fig8_subset_jobs_identical(self):
+        from repro.experiments.fig8_11 import run_validation
+
+        benchmarks = ("cfd", "bfs", "hotspot")
+        common.clear_caches()
+        serial = run_validation(
+            "fig8", steps=4, benchmarks=benchmarks, jobs=1
+        )
+        common.clear_caches()
+        parallel = run_validation(
+            "fig8", steps=4, benchmarks=benchmarks, jobs=4
+        )
+        assert serial == parallel
+
+    def test_runner_jobs_byte_identical(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        names = ["fig2", "fig9"]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(names + ["--out", str(serial_dir), "--csv"]) == 0
+        assert (
+            main(names + ["--out", str(parallel_dir), "--csv", "--jobs", "4"])
+            == 0
+        )
+        capsys.readouterr()
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        parallel_files = sorted(p.name for p in parallel_dir.iterdir())
+        assert serial_files == parallel_files
+        assert len(serial_files) >= len(names)
+        match, mismatch, errors = filecmp.cmpfiles(
+            serial_dir, parallel_dir, serial_files, shallow=False
+        )
+        assert mismatch == [] and errors == []
+        assert sorted(match) == serial_files
+
+    def test_runner_jobs_restores_default(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        from repro.perf import default_max_workers
+
+        assert main(["fig2", "--out", str(tmp_path), "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert default_max_workers() == 1

@@ -1,0 +1,89 @@
+"""The parallel job executor: ordering, fallback, defaults, errors."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf import (
+    default_max_workers,
+    parallel_map,
+    set_default_max_workers,
+)
+
+
+@dataclass(frozen=True)
+class SquareJob:
+    value: int
+
+    def run(self) -> int:
+        return self.value * self.value
+
+
+@dataclass(frozen=True)
+class FailingJob:
+    def run(self):
+        raise ValueError("boom")
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        jobs = [SquareJob(i) for i in range(8)]
+        assert parallel_map(jobs, max_workers=1) == [i * i for i in range(8)]
+
+    def test_parallel_preserves_order(self):
+        jobs = [SquareJob(i) for i in range(8)]
+        assert parallel_map(jobs, max_workers=4) == [i * i for i in range(8)]
+
+    def test_serial_and_parallel_agree(self):
+        jobs = [SquareJob(i) for i in range(5)]
+        assert parallel_map(jobs, max_workers=1) == parallel_map(
+            jobs, max_workers=3
+        )
+
+    def test_empty_jobs(self):
+        assert parallel_map([], max_workers=4) == []
+
+    def test_single_job_runs_in_process(self):
+        # A lone job must not pay pool startup; observable via identity
+        # of a mutable result (same process ⇒ same object graph).
+        class Marker:
+            pass
+
+        marker = Marker()
+
+        @dataclass
+        class IdentityJob:
+            def run(self, _marker=marker):
+                return _marker
+
+        (result,) = parallel_map([IdentityJob()], max_workers=4)
+        assert result is marker
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map([FailingJob(), FailingJob()], max_workers=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map([FailingJob()], max_workers=1)
+
+
+class TestDefaultMaxWorkers:
+    def test_default_is_serial(self):
+        assert default_max_workers() == 1
+
+    def test_set_and_restore(self):
+        previous = default_max_workers()
+        try:
+            set_default_max_workers(3)
+            assert default_max_workers() == 3
+            jobs = [SquareJob(i) for i in range(3)]
+            # None picks up the global default.
+            assert parallel_map(jobs) == [0, 1, 4]
+        finally:
+            set_default_max_workers(previous)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            set_default_max_workers(0)

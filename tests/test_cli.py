@@ -57,6 +57,15 @@ class TestExperimentSubcommand:
         # 'experiment' with no names and no --all prints help, exit 2.
         assert main(["experiment"]) == 2
 
+    def test_jobs_forwarding(self, capsys):
+        assert main(["experiment", "fig2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "==== fig2" in out
+
+    def test_jobs_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig2", "--jobs", "0"])
+
 
 class TestParser:
     def test_missing_command_rejected(self):
