@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.series import Series
+from repro.errors import AnalysisError
 
 _MARKS = "*o+x#@%&"
 
@@ -31,7 +32,7 @@ def ascii_plot(
     if not series_list:
         return title
     if width < 8 or height < 4:
-        raise ValueError("chart too small to be readable")
+        raise AnalysisError("chart too small to be readable")
     ys = [y for s in series_list for y in s.y]
     lo = y_min if y_min is not None else min(ys)
     hi = y_max if y_max is not None else max(ys)

@@ -10,6 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.errors import AnalysisError
+from repro.units import approx_eq
+
 
 @dataclass(frozen=True)
 class Series:
@@ -21,7 +24,7 @@ class Series:
 
     def __post_init__(self) -> None:
         if len(self.x) != len(self.y):
-            raise ValueError(
+            raise AnalysisError(
                 f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y"
             )
 
@@ -49,7 +52,7 @@ def render_series(
     for s in series_list:
         values = " ".join(f"{y * y_scale:7.1f}" for y in s.y)
         lines.append(f"{s.name:>24} " + values)
-    if y_scale == 100.0:
+    if approx_eq(y_scale, 100.0):
         lines.append(f"({y_label} in % of standalone)")
     return "\n".join(lines)
 

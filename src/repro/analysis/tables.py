@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.errors import AnalysisError
+
 
 class TextTable:
     """Fixed-width text table with a header row.
@@ -15,7 +17,7 @@ class TextTable:
 
     def __init__(self, headers: Sequence[str], title: str = ""):
         if not headers:
-            raise ValueError("headers must be non-empty")
+            raise AnalysisError("headers must be non-empty")
         self.title = title
         self.headers = [str(h) for h in headers]
         self.rows: List[List[str]] = []
@@ -23,7 +25,7 @@ class TextTable:
     def add_row(self, cells: Sequence[object]) -> None:
         row = [str(c) for c in cells]
         if len(row) != len(self.headers):
-            raise ValueError(
+            raise AnalysisError(
                 f"row has {len(row)} cells, table has {len(self.headers)}"
             )
         self.rows.append(row)

@@ -7,12 +7,14 @@ Commands
 - ``calibrate`` — construct a PU's PCCS parameters and print them.
 - ``predict`` — predict co-run relative speed for (demand, external).
 - ``experiment`` — run paper experiments (delegates to the runner).
+- ``lint`` — run the simulator-invariant checker (``repro.lint``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.tables import TextTable, fmt
@@ -99,6 +101,42 @@ def _cmd_experiment(args) -> int:
     return runner_main(forwarded)
 
 
+def _cmd_lint(args) -> int:
+    from repro.errors import LintError
+    from repro.lint import lint_paths, render_json, render_text, rule_table
+
+    if args.list_rules:
+        table = TextTable(["rule", "summary"], title="pccs lint rules")
+        for rule_id, summary in rule_table():
+            table.add_row([rule_id, summary])
+        print(table.render())
+        return 0
+    paths = args.paths or [_default_lint_root()]
+    rule_ids = None
+    if args.rules:
+        rule_ids = [
+            part.strip()
+            for chunk in args.rules
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+    try:
+        findings = lint_paths(paths, rule_ids=rule_ids)
+    except LintError as exc:
+        print(f"pccs lint: error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+def _default_lint_root() -> str:
+    """Lint the installed ``repro`` package when no path is given."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pccs",
@@ -143,6 +181,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiments and sweeps (default: 1)",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the AST-based simulator-invariant checker",
+        description=(
+            "Static analysis over repro sources; exits 0 when clean, "
+            "1 on findings, 2 on usage errors."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--rules",
+        action="append",
+        metavar="LINT00x[,LINT00y]",
+        help=(
+            "subset of rule ids to run, comma-separated or repeated "
+            "(default: all)"
+        ),
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings output format",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

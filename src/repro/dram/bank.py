@@ -48,7 +48,8 @@ class ChannelState:
             return False
         start = max(now, self.bus_free_at)
         self.bus_free_at = start + self.timing.t_rfc_ns
-        for bank in self.banks.values():
+        for index in sorted(self.banks):
+            bank = self.banks[index]
             bank.open_row = None
             bank.ready_at = max(bank.ready_at, self.bus_free_at)
         while self.next_refresh_ns <= now:

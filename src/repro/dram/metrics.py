@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
+
+from repro.errors import AnalysisError
 
 
 @dataclass
@@ -32,7 +34,7 @@ class DramMetrics:
     def latency_percentile(self, q: float) -> float:
         """The q-th latency percentile in ns (q in [0, 100])."""
         if not 0 <= q <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+            raise AnalysisError(f"percentile must be in [0, 100], got {q}")
         if not self.latencies_ns:
             return 0.0
         ordered = sorted(self.latencies_ns)
@@ -60,7 +62,7 @@ class DramMetrics:
         return self.bytes_served / elapsed_ns  # bytes per ns == GB/s
 
 
-def unfairness_index(slowdowns) -> float:
+def unfairness_index(slowdowns: Iterable[float]) -> float:
     """Max-over-min slowdown across cores (Kim et al.'s metric).
 
     1.0 is perfectly fair; the fairness-control literature the paper
@@ -69,5 +71,5 @@ def unfairness_index(slowdowns) -> float:
     """
     values = [s for s in slowdowns if s > 0]
     if not values:
-        raise ValueError("need at least one positive slowdown")
+        raise AnalysisError("need at least one positive slowdown")
     return max(values) / min(values)

@@ -72,6 +72,12 @@ class ChannelQueue:
         state is materialised per probed bank, exactly like the scan).
         """
         hits: List[Request] = []
+        # lint: disable=LINT001 — probe order never reaches a scheduler
+        # decision: every selection over the hit set reduces with min()
+        # on the total (arrival_ns, req_id) key, and the list-queue
+        # equivalence tests (tests/dram/test_queue.py) pin bit-identical
+        # results. Sorting here would put an O(n log n) pass on the
+        # event loop's hottest path for nothing.
         for (bank_index, row), group in self._rows.items():
             if channel.bank(bank_index).open_row == row:
                 hits.extend(group.values())

@@ -251,7 +251,9 @@ class CMPSystem:
                         state.inflight += 1
                     issued_now += 1
                     touched.add(decoded.channel)
-                for ch in touched:
+                # Sorted so the wake order (and thus heap tie-break
+                # counters) never depends on set iteration order.
+                for ch in sorted(touched):
                     wake_channel(ch, now)
                 if issued_now:
                     state.next_gen_ns = (

@@ -29,3 +29,24 @@ class WorkloadError(ReproError):
 
 class PredictionError(ReproError):
     """A slowdown model was asked for a prediction it cannot produce."""
+
+
+class UnitsError(ReproError, ValueError):
+    """A unit conversion or range helper received an invalid value.
+
+    Also derives :class:`ValueError` so callers that predate the
+    hierarchy (and idiomatic ``except ValueError`` argument checks)
+    keep working.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """A reporting/statistics helper received inconsistent data.
+
+    Also derives :class:`ValueError` for backward compatibility with
+    callers that catch the builtin.
+    """
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misused (unknown rule, bad path)."""

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import Callable, Dict
 
@@ -155,6 +154,7 @@ def main(argv=None) -> int:
 
     from repro.perf import (
         ExperimentJob,
+        Stopwatch,
         default_max_workers,
         parallel_map,
         set_default_max_workers,
@@ -183,11 +183,10 @@ def main(argv=None) -> int:
             return 0
 
         for name in names:
-            start = time.time()
+            watch = Stopwatch()
             result = get_runner(name)()
             report = result.render()
-            elapsed = time.time() - start
-            banner = f"==== {name} ({elapsed:.1f}s) ===="
+            banner = f"==== {name} ({watch.elapsed():.1f}s) ===="
             print(banner)
             print(report)
             print()

@@ -1,0 +1,31 @@
+"""``repro.lint`` — AST-based simulator-invariant checker.
+
+A from-scratch static-analysis pass whose rules encode this repo's own
+bug classes (see ``DESIGN.md`` §2.9): nondeterministic iteration in
+scheduler selection loops, unseeded randomness, wall-clock leakage into
+model code, exact float comparison in solver code, mutable default
+arguments, unpicklable members on parallel jobs, and raises that bypass
+the :mod:`repro.errors` hierarchy.
+
+Public surface:
+
+- :class:`Finding` — one (file, line, rule, message) record;
+- :func:`lint_paths` — lint files/directories and collect findings;
+- :func:`lint_source` — lint one source string (fixture-friendly);
+- :data:`ALL_RULE_IDS` / :func:`rule_table` — the rule registry;
+- :mod:`repro.lint.determinism` — the dynamic PYTHONHASHSEED harness.
+"""
+
+from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULE_IDS, rule_table
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "rule_table",
+]

@@ -1,0 +1,95 @@
+"""Dynamic determinism harness: canonical JSON for fixed scenarios.
+
+The static rules (:mod:`repro.lint.rules`) catch nondeterminism
+*patterns*; this module catches nondeterminism *outcomes*. It runs a
+fixed small simulation and prints a canonical JSON serialization of the
+result, so a test can execute it twice in subprocesses under different
+``PYTHONHASHSEED`` values and assert the outputs are byte-identical::
+
+    PYTHONHASHSEED=0    python -m repro.lint.determinism --scenario soc
+    PYTHONHASHSEED=4242 python -m repro.lint.determinism --scenario soc
+
+Scenarios:
+
+- ``soc`` — a Xavier AGX co-run (GPU victim under looping CPU pressure)
+  through :class:`repro.soc.engine.CoRunEngine`, timeline included;
+- ``dram`` — a 2-core DRAM simulation through
+  :class:`repro.dram.system.CMPSystem` with the SMS scheduler (the
+  policy whose tie-break PR 1 had to fix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+SCENARIOS = ("soc", "dram")
+
+
+def soc_scenario() -> Dict[str, Any]:
+    """Small Xavier AGX co-run; returns a JSON-ready dict."""
+    from repro.soc.configs import soc_by_name
+    from repro.soc.engine import CoRunEngine
+    from repro.workloads.kernel import single_phase_kernel
+
+    engine = CoRunEngine(soc_by_name("xavier-agx"))
+    victim = single_phase_kernel("det-victim", 2.0, traffic_gb=0.5)
+    pressure = single_phase_kernel("det-pressure", 0.5, traffic_gb=0.5)
+    result = engine.corun(
+        {"gpu": victim, "cpu": pressure},
+        looping=("cpu",),
+        until="first",
+        record_timeline=True,
+    )
+    return {
+        "scenario": "soc",
+        "result": dataclasses.asdict(result),
+        "resolve_calls": engine.resolve_stats.calls,
+    }
+
+
+def dram_scenario() -> Dict[str, Any]:
+    """2-core DRAM simulation under the SMS scheduler."""
+    from repro.dram.system import CMPSystem
+
+    system = CMPSystem(policy="sms", seed=1)
+    cores = system.group_configs(
+        group_demand_gbps=24.0, n_cores=2, requests_per_core=300
+    )
+    result = system.run(cores)
+    return {"scenario": "dram", "result": dataclasses.asdict(result)}
+
+
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """Deterministic rendering: sorted keys, shortest-repr floats."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_scenario(name: str) -> str:
+    if name == "soc":
+        return canonical_json(soc_scenario())
+    if name == "dram":
+        return canonical_json(dram_scenario())
+    from repro.errors import LintError
+
+    raise LintError(
+        f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.determinism",
+        description="print a canonical JSON trace of a fixed simulation",
+    )
+    parser.add_argument("--scenario", choices=SCENARIOS, required=True)
+    args = parser.parse_args(argv)
+    print(run_scenario(args.scenario))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

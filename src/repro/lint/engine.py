@@ -1,0 +1,85 @@
+"""Walk files, run rules, honor suppressions, collect findings."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import LintError
+from repro.lint.rules import (
+    FileContext,
+    Finding,
+    Rule,
+    resolve_rules,
+)
+from repro.lint.suppress import is_suppressed, parse_suppressions
+
+PARSE_RULE_ID = "LINT000"
+"""Pseudo-rule id attached to files that fail to parse."""
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; ``path`` scopes path-sensitive rules."""
+    rules = resolve_rules(rule_ids)
+    ctx = FileContext(path=path, norm_path=Path(path).as_posix())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.checker(tree, ctx):
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under each path, sorted for stable output."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    resolve_rules(rule_ids)  # fail fast on unknown ids before any I/O
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, path=str(file_path), rule_ids=rule_ids)
+        )
+    return sorted(findings)
+
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "PARSE_RULE_ID",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,53 @@
+"""Finding renderers: line-oriented text and a versioned JSON schema."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Sequence
+
+from repro.lint.rules import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``file:line:col: RULE message`` lines plus a summary tail."""
+    lines = [
+        f"{f.file}:{f.line}:{f.col}: {f.rule} {f.message}"
+        for f in findings
+    ]
+    count = len(findings)
+    if count == 0:
+        lines.append("clean: no findings")
+    else:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"{count} {noun}")
+    return "\n".join(lines)
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "file": finding.file,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document (``version``, ``count``, ``findings``)."""
+    payload: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [finding_to_dict(f) for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "finding_to_dict",
+    "render_json",
+    "render_text",
+]

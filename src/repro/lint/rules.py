@@ -1,0 +1,717 @@
+"""Rule registry and per-rule AST checkers.
+
+Every rule encodes a bug class this repository has actually hit (or is
+structurally exposed to); see ``DESIGN.md`` §2.9 for the incident log
+behind each one. A rule is a pure function from a parsed module to
+:class:`~repro.lint.engine.Finding` records — no I/O, no global state —
+so the engine can run any subset over any file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import LintError
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a checker may know about the file being linted."""
+
+    path: str
+    """Display path, as given by the caller."""
+
+    norm_path: str
+    """Forward-slash path used for scope matching."""
+
+
+Checker = Callable[[ast.Module, FileContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    rule_id: str
+    summary: str
+    checker: Checker
+
+
+# ----------------------------------------------------------------------
+# Scope predicates
+# ----------------------------------------------------------------------
+_SCHEDULER_SCOPE_DIRS: Tuple[str, ...] = ("dram/schedulers/",)
+_SCHEDULER_SCOPE_FILES: Tuple[str, ...] = (
+    "soc/engine.py",
+    "soc/memsys.py",
+    "soc/multimc.py",
+    "dram/queue.py",
+    "dram/system.py",
+    "dram/bank.py",
+)
+_WALLCLOCK_EXEMPT: Tuple[str, ...] = ("repro/perf/", "benchmarks/")
+
+
+def _in_scheduler_scope(ctx: FileContext) -> bool:
+    path = ctx.norm_path
+    if any(fragment in path for fragment in _SCHEDULER_SCOPE_DIRS):
+        return True
+    return any(path.endswith(name) for name in _SCHEDULER_SCOPE_FILES)
+
+
+def _wallclock_exempt(ctx: FileContext) -> bool:
+    return any(fragment in ctx.norm_path for fragment in _WALLCLOCK_EXEMPT)
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_DICT_VIEW_METHODS = frozenset({"values", "keys", "items"})
+_SET_BINOPS = (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _walk_scope(nodes: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class scopes."""
+    pending: List[ast.AST] = list(nodes)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue  # nested scopes are walked by their own pass
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def _collect_set_names(
+    nodes: Sequence[ast.stmt], inherited: Set[str]
+) -> Set[str]:
+    """Names assigned a set-valued expression within one scope.
+
+    Flow-insensitive within the scope on purpose: a name that *ever*
+    holds a set there is treated as unordered everywhere in it, which
+    is the conservative reading for a determinism lint.
+    """
+    names: Set[str] = set(inherited)
+    for node in _walk_scope(nodes):
+        targets: Sequence[ast.expr]
+        if isinstance(node, ast.Assign):
+            value: Optional[ast.expr] = node.value
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+            targets = [node.target]
+        else:
+            continue
+        if value is None or not _is_set_expr(value, names):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(_attribute_source(target))
+    return names
+
+
+def _attribute_source(node: ast.Attribute) -> str:
+    """Dotted form of an attribute chain (``self.touched`` etc.)."""
+    parts: List[str] = [node.attr]
+    current: ast.expr = node.value
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CONSTRUCTORS
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute):
+        return _attribute_source(node) in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _is_dict_view_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+    )
+
+
+def _is_unordered_iterable(node: ast.expr, set_names: Set[str]) -> bool:
+    return _is_set_expr(node, set_names) or _is_dict_view_call(node)
+
+
+def _call_keyword_names(node: ast.Call) -> Set[str]:
+    return {kw.arg for kw in node.keywords if kw.arg is not None}
+
+
+# ----------------------------------------------------------------------
+# LINT001 — unordered iteration in scheduler/engine selection loops
+# ----------------------------------------------------------------------
+def _collect_set_attributes(tree: ast.Module) -> Set[str]:
+    """Dotted attribute paths (``self.x``) ever assigned a set expression.
+
+    Instance attributes live across methods, so these are collected
+    module-wide and inherited by every scope.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _is_set_expr(node.value, names):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute):
+                names.add(_attribute_source(target))
+    return names
+
+
+def _check_unordered_iteration(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    if not _in_scheduler_scope(ctx):
+        return []
+    findings: List[Finding] = []
+
+    def check_scope(nodes: Sequence[ast.stmt], inherited: Set[str]) -> None:
+        set_names = _collect_set_names(nodes, inherited)
+        for node in _walk_scope(nodes):
+            if isinstance(node, ast.For) and _is_unordered_iterable(
+                node.iter, set_names
+            ):
+                findings.append(
+                    Finding(
+                        file=ctx.path,
+                        line=node.iter.lineno,
+                        col=node.iter.col_offset,
+                        rule="LINT001",
+                        message=(
+                            "iteration over an unordered set/dict view in "
+                            "scheduler/engine code; wrap in sorted(...) or "
+                            "select with an explicit tie-break key"
+                        ),
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("min", "max")
+                and node.args
+                and "key" not in _call_keyword_names(node)
+                and _is_unordered_iterable(node.args[0], set_names)
+            ):
+                findings.append(
+                    Finding(
+                        file=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="LINT001",
+                        message=(
+                            f"{node.func.id}() over an unordered "
+                            "collection without an explicit key= "
+                            "tie-break in scheduler/engine code"
+                        ),
+                    )
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                check_scope(node.body, set_names)
+            elif isinstance(node, ast.ClassDef):
+                check_scope(node.body, set_names)
+
+    check_scope(tree.body, _collect_set_attributes(tree))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT002 — unseeded module-level randomness
+# ----------------------------------------------------------------------
+_RANDOM_SAFE_ATTRS = frozenset({"Random", "SystemRandom"})
+_NUMPY_RANDOM_SAFE_ATTRS = frozenset(
+    {"Generator", "RandomState", "SeedSequence", "default_rng"}
+)
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Aliases for modules of interest: random, numpy, time, datetime."""
+    aliases: Dict[str, Set[str]] = {
+        "random": set(),
+        "numpy": set(),
+        "numpy.random": set(),
+        "time": set(),
+        "datetime": set(),
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name in aliases:
+                    aliases[name.name].add(name.asname or name.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for name in node.names:
+                if name.name == "random":
+                    aliases["numpy.random"].add(name.asname or name.name)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """``from module import a as b`` -> ``{b: a}`` for one module."""
+    imported: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for name in node.names:
+                imported[name.asname or name.name] = name.name
+    return imported
+
+
+def _check_unseeded_random(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    aliases = _module_aliases(tree)
+    random_aliases = aliases["random"]
+    numpy_aliases = aliases["numpy"]
+    numpy_random_aliases = aliases["numpy.random"]
+    bare_random = {
+        local
+        for local, original in _from_imports(tree, "random").items()
+        if original not in _RANDOM_SAFE_ATTRS
+    }
+    findings: List[Finding] = []
+
+    def flag(node: ast.Call, what: str) -> None:
+        findings.append(
+            Finding(
+                file=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="LINT002",
+                message=(
+                    f"module-level {what} call shares hidden global RNG "
+                    "state; draw from an injected random.Random(seed) "
+                    "instead"
+                ),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in bare_random:
+            flag(node, f"random.{func.id}")
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in random_aliases
+                and func.attr not in _RANDOM_SAFE_ATTRS
+            ):
+                flag(node, f"random.{func.attr}")
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in numpy_random_aliases
+                and func.attr not in _NUMPY_RANDOM_SAFE_ATTRS
+            ):
+                flag(node, f"numpy.random.{func.attr}")
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_aliases
+                and value.attr == "random"
+                and func.attr not in _NUMPY_RANDOM_SAFE_ATTRS
+            ):
+                flag(node, f"numpy.random.{func.attr}")
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT003 — wall-clock reads in model code
+# ----------------------------------------------------------------------
+_TIME_WALLCLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _check_wallclock(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    if _wallclock_exempt(ctx):
+        return []
+    aliases = _module_aliases(tree)
+    time_aliases = aliases["time"]
+    datetime_aliases = aliases["datetime"]
+    bare_time = {
+        local
+        for local, original in _from_imports(tree, "time").items()
+        if original in _TIME_WALLCLOCK_ATTRS
+    }
+    datetime_classes = {
+        local
+        for local, original in _from_imports(tree, "datetime").items()
+        if original in ("datetime", "date")
+    }
+    findings: List[Finding] = []
+
+    def flag(node: ast.Call, what: str) -> None:
+        findings.append(
+            Finding(
+                file=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="LINT003",
+                message=(
+                    f"wall-clock read {what}() in model code; simulated "
+                    "time must come from the engine, and harness timing "
+                    "belongs in repro.perf.timing"
+                ),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in bare_time:
+            flag(node, func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            owner = func.value.id
+            if owner in time_aliases and func.attr in _TIME_WALLCLOCK_ATTRS:
+                flag(node, f"time.{func.attr}")
+            elif (
+                owner in datetime_classes
+                and func.attr in _DATETIME_NOW_ATTRS
+            ):
+                flag(node, f"{owner}.{func.attr}")
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in datetime_aliases
+            and func.value.attr in ("datetime", "date")
+            and func.attr in _DATETIME_NOW_ATTRS
+        ):
+            flag(node, f"datetime.{func.value.attr}.{func.attr}")
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT004 — exact float comparison
+# ----------------------------------------------------------------------
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+def _check_float_equality(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands: List[ast.expr] = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _is_float_literal(left) or _is_float_literal(right):
+                findings.append(
+                    Finding(
+                        file=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="LINT004",
+                        message=(
+                            "exact ==/!= against a float literal; use "
+                            "repro.units.approx_eq (or math.isclose) in "
+                            "solver/fixed-point code"
+                        ),
+                    )
+                )
+                break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT005 — mutable default arguments
+# ----------------------------------------------------------------------
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+               ast.SetComp)
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def _check_mutable_defaults(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        defaults: List[Optional[ast.expr]] = [
+            *node.args.defaults,
+            *node.args.kw_defaults,
+        ]
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                findings.append(
+                    Finding(
+                        file=ctx.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule="LINT005",
+                        message=(
+                            "mutable default argument is shared across "
+                            "calls; default to None and build inside the "
+                            "function"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT006 — unpicklable members on parallel jobs
+# ----------------------------------------------------------------------
+def _is_unpicklable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Lambda, ast.GeneratorExp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "open"
+    )
+
+
+def _job_scope_classes(
+    tree: ast.Module, ctx: FileContext
+) -> List[ast.ClassDef]:
+    in_perf = "repro/perf/" in ctx.norm_path
+    classes: List[ast.ClassDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and (
+            in_perf or node.name.endswith("Job")
+        ):
+            classes.append(node)
+    return classes
+
+
+def _check_unpicklable_jobs(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(node: ast.expr, cls: str, where: str) -> None:
+        findings.append(
+            Finding(
+                file=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="LINT006",
+                message=(
+                    f"job class {cls} holds an unpicklable {where} "
+                    "(lambda/generator/open handle); jobs must cross "
+                    "process boundaries"
+                ),
+            )
+        )
+
+    for cls in _job_scope_classes(tree, ctx):
+        for stmt in cls.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None:
+                if _is_unpicklable_value(value):
+                    flag(value, cls.name, "class attribute")
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "field"
+                ):
+                    for kw in value.keywords:
+                        if kw.arg == "default" and _is_unpicklable_value(
+                            kw.value
+                        ):
+                            flag(kw.value, cls.name, "field default")
+            if isinstance(stmt, ast.FunctionDef):
+                for inner in ast.walk(stmt):
+                    if not isinstance(inner, ast.Assign):
+                        continue
+                    if not _is_unpicklable_value(inner.value):
+                        continue
+                    for target in inner.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            flag(inner.value, cls.name, "instance member")
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT007 — raises outside the repro.errors hierarchy
+# ----------------------------------------------------------------------
+_BANNED_EXCEPTIONS = frozenset(
+    {"Exception", "BaseException", "ValueError", "RuntimeError", "TypeError"}
+)
+
+
+def _check_bare_raises(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name: Optional[str] = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BANNED_EXCEPTIONS:
+            findings.append(
+                Finding(
+                    file=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="LINT007",
+                    message=(
+                        f"raise {name} bypasses the repro.errors "
+                        "hierarchy; raise a ReproError subclass so "
+                        "callers can catch library failures uniformly"
+                    ),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_RULES: Tuple[Rule, ...] = (
+    Rule(
+        "LINT001",
+        "unordered set/dict iteration in scheduler/engine selection loops",
+        _check_unordered_iteration,
+    ),
+    Rule(
+        "LINT002",
+        "unseeded module-level random / numpy.random calls",
+        _check_unseeded_random,
+    ),
+    Rule(
+        "LINT003",
+        "wall-clock reads leaking into model code",
+        _check_wallclock,
+    ),
+    Rule(
+        "LINT004",
+        "exact float ==/!= comparison (use tolerance helpers)",
+        _check_float_equality,
+    ),
+    Rule(
+        "LINT005",
+        "mutable default arguments",
+        _check_mutable_defaults,
+    ),
+    Rule(
+        "LINT006",
+        "perf job classes holding unpicklable members",
+        _check_unpicklable_jobs,
+    ),
+    Rule(
+        "LINT007",
+        "raising bare builtin exceptions instead of repro.errors",
+        _check_bare_raises,
+    ),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
+ALL_RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in _RULES)
+
+
+def rule_table() -> Tuple[Tuple[str, str], ...]:
+    """(rule id, summary) pairs, in registry order."""
+    return tuple((rule.rule_id, rule.summary) for rule in _RULES)
+
+
+def resolve_rules(rule_ids: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    """Map ids to rules; ``None`` selects the full registry."""
+    if rule_ids is None:
+        return _RULES
+    resolved: List[Rule] = []
+    for rule_id in rule_ids:
+        rule = RULES_BY_ID.get(rule_id.upper())
+        if rule is None:
+            raise LintError(
+                f"unknown rule {rule_id!r}; known rules: "
+                f"{', '.join(ALL_RULE_IDS)}"
+            )
+        resolved.append(rule)
+    return tuple(resolved)

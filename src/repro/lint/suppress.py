@@ -1,0 +1,94 @@
+"""Suppression pragmas: ``# lint: disable=LINT001[,LINT002]``.
+
+Two placements are honored:
+
+- **trailing** — a pragma on a line that also holds code suppresses
+  findings anchored to that line;
+- **standalone** — a pragma on a comment-only line suppresses findings
+  on the next line holding code (intervening comment/blank lines are
+  skipped), so a suppression can carry a multi-line justification.
+
+``# lint: disable=all`` suppresses every rule at its target line.
+Pragmas are collected with :mod:`tokenize`, so strings that merely
+*contain* pragma-looking text are never honored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+ALL = "all"
+"""Sentinel rule name suppressing every rule on the pragma's line."""
+
+
+def _parse_names(comment: str) -> FrozenSet[str]:
+    match = _PRAGMA.search(comment)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        ALL if part.strip().lower() == ALL else part.strip().upper()
+        for part in match.group(1).split(",")
+        if part.strip()
+    )
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    Unreadable sources (tokenize errors) yield no suppressions; the
+    caller surfaces the syntax error through the parse step instead.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+
+    code_lines: Set[int] = set()
+    pragmas: List[Tuple[int, FrozenSet[str]]] = []
+    for token in tokens:
+        if token.type not in _NON_CODE_TOKENS:
+            for line in range(token.start[0], token.end[0] + 1):
+                code_lines.add(line)
+        if token.type == tokenize.COMMENT:
+            names = _parse_names(token.string)
+            if names:
+                pragmas.append((token.start[0], names))
+
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    max_line = max(code_lines) if code_lines else 0
+    for pragma_line, names in pragmas:
+        target = pragma_line
+        if pragma_line not in code_lines:
+            # Standalone comment: cover the next line holding code.
+            target = pragma_line + 1
+            while target <= max_line and target not in code_lines:
+                target += 1
+        suppressions[target] = suppressions.get(target, frozenset()) | names
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is pragma-disabled on ``line``."""
+    names = suppressions.get(line)
+    if not names:
+        return False
+    return ALL in names or rule_id.upper() in names

@@ -7,7 +7,10 @@ Public surface:
 - :func:`set_default_max_workers` / :func:`default_max_workers` — the
   process-global ``--jobs`` default experiments consult;
 - :class:`PressureSweepJob` / :class:`ExperimentJob` — the standard
-  picklable jobs fanned out by the sweeps and the experiment runner.
+  picklable jobs fanned out by the sweeps and the experiment runner;
+- :func:`wall_clock_seconds` / :class:`Stopwatch` — the sanctioned
+  wall-clock access point for harness timing (LINT003 keeps host
+  clock reads out of model code).
 """
 
 from repro.perf.executor import (
@@ -17,12 +20,15 @@ from repro.perf.executor import (
     set_default_max_workers,
 )
 from repro.perf.jobs import ExperimentJob, ExperimentOutcome, PressureSweepJob
+from repro.perf.timing import Stopwatch, wall_clock_seconds
 
 __all__ = [
     "Job",
+    "Stopwatch",
     "default_max_workers",
     "parallel_map",
     "set_default_max_workers",
+    "wall_clock_seconds",
     "ExperimentJob",
     "ExperimentOutcome",
     "PressureSweepJob",

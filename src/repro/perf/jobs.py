@@ -8,10 +8,10 @@ path uses, so results are bit-identical regardless of where a job ran.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.perf.timing import Stopwatch
 from repro.workloads.kernel import KernelSpec
 
 
@@ -69,10 +69,10 @@ class ExperimentJob:
         # This job is the unit of parallelism: never fork a nested pool
         # (the forked child inherits the parent's --jobs default).
         set_default_max_workers(1)
-        start = time.time()
+        watch = Stopwatch()
         result = get_runner(self.name)()
         report = result.render()
-        elapsed = time.time() - start
+        elapsed = watch.stop()
         csv_count = 0
         if self.out_dir is not None:
             out_dir = Path(self.out_dir)

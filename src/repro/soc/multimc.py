@@ -143,7 +143,7 @@ class PartitionedMemorySystem:
         for i, s in enumerate(streams):
             by_partition.setdefault(self.partition_of(s.name), []).append(i)
         grants: List[Optional[StreamGrant]] = [None] * len(streams)
-        for partition, indices in by_partition.items():
+        for partition, indices in sorted(by_partition.items()):
             subset = [streams[i] for i in indices]
             for i, grant in zip(
                 indices, self._systems[partition].resolve(subset)

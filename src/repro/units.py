@@ -13,9 +13,16 @@ Conventions
 
 from __future__ import annotations
 
+import math
+
+from repro.errors import UnitsError
+
 GIGA = 1e9
 MEGA = 1e6
 KILO = 1e3
+
+REL_TOL = 1e-9
+"""Default relative tolerance for float comparisons (:func:`approx_eq`)."""
 
 CACHELINE_BYTES = 64
 """Size of a memory transaction (one cacheline), in bytes."""
@@ -36,11 +43,11 @@ def bandwidth_gbps(n_bytes: float, seconds: float) -> float:
 
     Raises
     ------
-    ValueError
+    UnitsError
         If ``seconds`` is not positive.
     """
     if seconds <= 0:
-        raise ValueError(f"seconds must be positive, got {seconds!r}")
+        raise UnitsError(f"seconds must be positive, got {seconds!r}")
     return n_bytes / seconds / GIGA
 
 
@@ -52,5 +59,19 @@ def as_percent(fraction: float, digits: int = 1) -> str:
 def clamp(value: float, lo: float, hi: float) -> float:
     """Clamp ``value`` into the inclusive range ``[lo, hi]``."""
     if lo > hi:
-        raise ValueError(f"empty clamp range [{lo}, {hi}]")
+        raise UnitsError(f"empty clamp range [{lo}, {hi}]")
     return max(lo, min(hi, value))
+
+
+def approx_eq(
+    a: float,
+    b: float,
+    rel_tol: float = REL_TOL,
+    abs_tol: float = 0.0,
+) -> bool:
+    """Tolerance-based float equality (the LINT004 alternative to ``==``).
+
+    A thin :func:`math.isclose` wrapper so model code states its
+    tolerance explicitly instead of comparing floats exactly.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

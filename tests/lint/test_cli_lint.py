@@ -1,0 +1,84 @@
+"""``pccs lint`` CLI: exit codes 0 (clean) / 1 (findings) / 2 (usage)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def f(x):\n    return x + 1\n"
+DIRTY = "def f(out=[]):\n    return out\n"
+
+
+@pytest.fixture()
+def clean_file(tmp_path: Path) -> Path:
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path: Path) -> Path:
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "LINT005" in out
+
+    def test_unknown_rule_exits_two(self, clean_file, capsys):
+        assert main(["lint", "--rules", "LINT999", str(clean_file)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_format_usage_error(self, clean_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "yaml", str(clean_file)])
+        assert excinfo.value.code == 2
+
+
+class TestOutput:
+    def test_json_format(self, dirty_file, capsys):
+        assert main(["lint", "--format", "json", str(dirty_file)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "LINT005"
+
+    def test_rule_subset(self, dirty_file, capsys):
+        # LINT004 alone does not see the mutable default.
+        assert main(["lint", "--rules", "LINT004", str(dirty_file)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("LINT001", "LINT004", "LINT007"):
+            assert rule_id in out
+
+    def test_directory_target(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text(DIRTY)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text(DIRTY)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("LINT005") == 2
+
+    def test_default_path_is_repro_package(self, capsys):
+        # No path argument: lints the installed package (must be clean —
+        # the same invariant tests/lint/test_self_clean.py pins).
+        assert main(["lint"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,66 @@
+"""Dynamic determinism harness: PYTHONHASHSEED must not change results.
+
+Runs ``python -m repro.lint.determinism`` twice per scenario in fresh
+subprocesses with *different* hash seeds and asserts the canonical JSON
+outputs are byte-identical. Hash randomization perturbs set/dict-of-str
+iteration order, so any scheduler or engine decision that leaks such an
+order shows up here as a diff — the dynamic complement of LINT001.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_ROOT = str(Path(repro.__file__).parent.parent)
+
+
+def run_scenario(scenario: str, hash_seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint.determinism", "--scenario", scenario],
+        capture_output=True,
+        env=env,
+        timeout=300,
+        check=True,
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("scenario", ["soc", "dram"])
+def test_hashseed_invariance(scenario):
+    baseline = run_scenario(scenario, "0")
+    assert baseline.strip(), "harness produced no output"
+    for seed in ("4242", "271828"):
+        assert run_scenario(scenario, seed) == baseline, (
+            f"{scenario} scenario diverged under PYTHONHASHSEED={seed}"
+        )
+
+
+def test_scenarios_are_nontrivial():
+    import json
+
+    from repro.lint.determinism import run_scenario as run_inline
+
+    soc = json.loads(run_inline("soc"))
+    assert soc["result"]["outcomes"], "soc scenario simulated nothing"
+    assert soc["result"]["elapsed"] > 0
+    dram = json.loads(run_inline("dram"))
+    assert len(dram["result"]["cores"]) == 2
+    assert all(c["completed"] > 0 for c in dram["result"]["cores"])
+
+
+def test_unknown_scenario_rejected():
+    from repro.errors import LintError
+    from repro.lint.determinism import run_scenario as run_inline
+
+    with pytest.raises(LintError):
+        run_inline("nope")

@@ -1,0 +1,61 @@
+"""Report rendering: text format and the versioned JSON schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import lint_source, render_json, render_text
+from repro.lint.report import JSON_SCHEMA_VERSION
+from repro.lint.rules import Finding
+
+VIOLATION = "def f(out=[]):\n    raise ValueError(str(out))\n"
+
+
+def sample_findings():
+    return lint_source(VIOLATION, path="src/repro/core/fake.py")
+
+
+class TestTextReport:
+    def test_clean_summary(self):
+        assert render_text([]) == "clean: no findings"
+
+    def test_line_format_and_count(self):
+        findings = sample_findings()
+        text = render_text(findings)
+        lines = text.splitlines()
+        assert lines[-1] == f"{len(findings)} findings"
+        for finding, line in zip(findings, lines):
+            assert line == (
+                f"{finding.file}:{finding.line}:{finding.col}: "
+                f"{finding.rule} {finding.message}"
+            )
+
+    def test_singular_noun(self):
+        finding = Finding("a.py", 1, 0, "LINT005", "msg")
+        assert render_text([finding]).endswith("1 finding")
+
+
+class TestJsonReport:
+    def test_schema_keys_and_version(self):
+        payload = json.loads(render_json(sample_findings()))
+        assert set(payload) == {"version", "count", "findings"}
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(payload["findings"])
+        for entry in payload["findings"]:
+            assert set(entry) == {"file", "line", "col", "rule", "message"}
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["col"], int)
+            assert entry["rule"].startswith("LINT")
+
+    def test_empty_document(self):
+        payload = json.loads(render_json([]))
+        assert payload == {
+            "version": JSON_SCHEMA_VERSION,
+            "count": 0,
+            "findings": [],
+        }
+
+    def test_deterministic_rendering(self):
+        a = render_json(sample_findings())
+        b = render_json(sample_findings())
+        assert a == b

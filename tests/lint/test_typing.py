@@ -1,0 +1,41 @@
+"""Strict type-checking gate for the typed core (lint, units, errors).
+
+Runs the same invocation CI uses. Skips cleanly when mypy is not
+installed in the environment (the container bakes only the runtime
+toolchain); CI installs the ``dev`` extra and enforces it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+SRC_ROOT = PACKAGE_ROOT.parent
+
+MYPY_TARGETS = [
+    str(PACKAGE_ROOT / "lint"),
+    str(PACKAGE_ROOT / "units.py"),
+    str(PACKAGE_ROOT / "errors.py"),
+]
+
+
+def test_py_typed_marker_present():
+    assert (PACKAGE_ROOT / "py.typed").is_file()
+
+
+def test_mypy_strict_on_typed_core():
+    pytest.importorskip("mypy", reason="mypy not installed; CI enforces this")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", *MYPY_TARGETS],
+        capture_output=True,
+        text=True,
+        cwd=str(SRC_ROOT),
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
