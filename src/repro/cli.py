@@ -103,7 +103,18 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.errors import LintError
-    from repro.lint import lint_paths, render_json, render_text, rule_table
+    from repro.lint import render_json, render_text, rule_table
+    from repro.lint.baseline import (
+        filter_new,
+        read_baseline,
+        write_baseline,
+    )
+    from repro.lint.cache import CACHE_DIR_NAME, LintCache
+    from repro.lint.engine import (
+        iter_python_files,
+        lint_files,
+    )
+    from repro.lint.scope import changed_python_files, restrict_to_paths
 
     if args.list_rules:
         table = TextTable(["rule", "summary"], title="pccs lint rules")
@@ -120,13 +131,40 @@ def _cmd_lint(args) -> int:
             for part in chunk.split(",")
             if part.strip()
         ]
+    cache = LintCache(Path(CACHE_DIR_NAME)) if args.cache else None
     try:
-        findings = lint_paths(paths, rule_ids=rule_ids)
+        if args.changed_only:
+            changed = changed_python_files()
+            if changed is None:
+                # Not a git checkout (or git failed): lint everything
+                # rather than silently lint nothing.
+                files = list(iter_python_files(paths))
+            else:
+                files = restrict_to_paths(changed, paths)
+        else:
+            files = list(iter_python_files(paths))
+        findings = lint_files(files, rule_ids=rule_ids, cache=cache)
+        if args.write_baseline:
+            write_baseline(findings, Path(args.write_baseline))
+            print(
+                f"baseline: recorded {len(findings)} finding(s) "
+                f"to {args.write_baseline}"
+            )
+            return 0
+        if args.baseline:
+            findings = filter_new(
+                findings, read_baseline(Path(args.baseline))
+            )
     except LintError as exc:
         print(f"pccs lint: error: {exc}", file=sys.stderr)
         return 2
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings))
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+            file=sys.stderr,
+        )
     return 1 if findings else 0
 
 
@@ -214,6 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    p.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "memoize per-file results under .lint-cache/ keyed by "
+            "content + rule set + analyzer version"
+        ),
+    )
+    p.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed vs git HEAD (plus untracked); "
+            "falls back to a full lint outside a git checkout"
+        ),
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "ratchet mode: report only findings not recorded in the "
+            "baseline file"
+        ),
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the accepted baseline and exit",
     )
     p.set_defaults(func=_cmd_lint)
     return parser

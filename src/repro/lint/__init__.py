@@ -1,28 +1,39 @@
-"""``repro.lint`` — AST-based simulator-invariant checker.
+"""``repro.lint`` — flow-aware simulator-invariant checker.
 
-A from-scratch static-analysis pass whose rules encode this repo's own
-bug classes (see ``DESIGN.md`` §2.9): nondeterministic iteration in
-scheduler selection loops, unseeded randomness, wall-clock leakage into
-model code, exact float comparison in solver code, mutable default
-arguments, unpicklable members on parallel jobs, and raises that bypass
-the :mod:`repro.errors` hierarchy.
+A from-scratch static-analysis engine whose rules encode this repo's
+own bug classes (see ``DESIGN.md`` §2.9–2.10). The per-node pass
+(LINT001–007) catches nondeterministic iteration in scheduler selection
+loops, unseeded randomness, wall-clock leakage into model code, exact
+float comparison in solver code, mutable default arguments, unpicklable
+members on parallel jobs, and raises that bypass the
+:mod:`repro.errors` hierarchy. The flow-aware pass (LINT010–012) builds
+control-flow graphs (:mod:`repro.lint.cfg`), solves forward data-flow
+problems over them (:mod:`repro.lint.dataflow`), and classifies
+module call graphs (:mod:`repro.lint.callgraph`) to find unit-mixing
+arithmetic, wall-clock/RNG values flowing into model state, and
+unpicklable values transitively reaching parallel jobs.
 
 Public surface:
 
 - :class:`Finding` — one (file, line, rule, message) record;
-- :func:`lint_paths` — lint files/directories and collect findings;
+- :func:`lint_paths` / :func:`lint_files` — lint trees or explicit
+  file lists, optionally through a :class:`LintCache`;
 - :func:`lint_source` — lint one source string (fixture-friendly);
 - :data:`ALL_RULE_IDS` / :func:`rule_table` — the rule registry;
+- :mod:`repro.lint.baseline` — the ``--baseline`` ratchet format;
 - :mod:`repro.lint.determinism` — the dynamic PYTHONHASHSEED harness.
 """
 
-from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.cache import LintCache
+from repro.lint.engine import Finding, lint_files, lint_paths, lint_source
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import ALL_RULE_IDS, rule_table
 
 __all__ = [
     "ALL_RULE_IDS",
     "Finding",
+    "LintCache",
+    "lint_files",
     "lint_paths",
     "lint_source",
     "render_json",

@@ -1,0 +1,48 @@
+"""Shared lint datatypes: findings, file context, rule records.
+
+Kept in a leaf module so the analyzer families (``rules``,
+``unitcheck``) and the engine can all import them without cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a checker may know about the file being linted."""
+
+    path: str
+    """Display path, as given by the caller."""
+
+    norm_path: str
+    """Forward-slash path used for scope matching."""
+
+
+Checker = Callable[[ast.Module, FileContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    rule_id: str
+    summary: str
+    checker: Checker
+
+
+__all__ = ["Checker", "FileContext", "Finding", "Rule"]

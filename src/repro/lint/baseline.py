@@ -1,0 +1,117 @@
+"""Finding baselines: ratchet new rules in without a flag-day cleanup.
+
+A baseline records the *accepted* findings of a tree so that CI can
+fail only on regressions — new findings — while the recorded debt is
+paid down incrementally. Keys are ``(file, rule, message)`` with a
+count, deliberately **line-insensitive**: editing an unrelated part of
+a file moves line numbers without creating new debt, and fixing one of
+N identical findings in a file shrinks the allowance so the fix cannot
+silently regress.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterType, Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.base import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.file, finding.rule, finding.message)
+
+
+def baseline_counts(
+    findings: Sequence[Finding],
+) -> CounterType[BaselineKey]:
+    return Counter(_key(f) for f in findings)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Record ``findings`` as the accepted debt at ``path``."""
+    counts = baseline_counts(findings)
+    entries: List[Dict[str, object]] = [
+        {"file": file, "rule": rule, "message": message, "count": count}
+        for (file, rule, message), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def read_baseline(path: Path) -> CounterType[BaselineKey]:
+    """Load accepted-finding counts from a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_SCHEMA_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise LintError(
+            f"baseline {path} has an unrecognized schema "
+            f"(expected version {BASELINE_SCHEMA_VERSION})"
+        )
+    counts: CounterType[BaselineKey] = Counter()
+    for entry in payload["entries"]:
+        try:
+            key = (
+                str(entry["file"]),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            counts[key] += int(entry["count"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(
+                f"baseline {path} has a malformed entry: {entry!r}"
+            ) from exc
+    return counts
+
+
+def filter_new(
+    findings: Sequence[Finding],
+    baseline: CounterType[BaselineKey],
+) -> List[Finding]:
+    """Findings beyond the baseline's per-key allowance.
+
+    For a key with allowance N and M >= N current findings, the first
+    N (by line order, since ``findings`` arrive sorted) are absorbed
+    and the remaining M - N are reported as new.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new
+
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineKey",
+    "baseline_counts",
+    "filter_new",
+    "read_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,302 @@
+"""Control-flow graphs over function bodies, built from the AST.
+
+The flow-aware rules (LINT010–LINT012) need statement *ordering* and
+*join points*, not syntax: a value tainted on one branch of an ``if``
+must stay tainted after the join, and a unit tag assigned inside a loop
+must survive the back edge. This module lowers one function body (or a
+module body) into basic blocks:
+
+- a :class:`Block` holds a straight-line sequence of *elements* — plain
+  statements plus two synthetic forms: a bare ``ast.expr`` for branch
+  tests (so checkers see comparisons inside conditions) and a
+  :class:`Bind` for implicit bindings (loop targets, ``with ... as``,
+  ``except ... as``);
+- edges follow the usual lowering: ``if``/``while``/``for`` with
+  ``else`` clauses, ``break``/``continue``, ``return``/``raise`` to the
+  exit block, and a conservative ``try`` lowering where every block of
+  the protected suite may jump to every handler.
+
+Nested function and class definitions are *not* inlined — they appear
+as single elements so each scope is analyzed by its own pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Element = Union[ast.stmt, ast.expr, "Bind"]
+
+
+@dataclass
+class Bind:
+    """Synthetic binding of ``target`` from ``value`` (loop/with/except).
+
+    ``value`` is the *iterable/context* expression, not the bound value
+    itself; analyzers decide how a binding transforms the abstract state
+    (e.g. iterating a tainted iterable taints the loop variable).
+    ``value is None`` models an opaque binding (``except E as name``).
+    """
+
+    target: ast.expr
+    value: Optional[ast.expr]
+    lineno: int
+    col_offset: int
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line elements plus ordered successors."""
+
+    block_id: int
+    elements: List[Element] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """A built control-flow graph; blocks keyed by id, entry/exit fixed."""
+
+    def __init__(
+        self, blocks: Dict[int, Block], entry: int, exit_id: int
+    ) -> None:
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_id
+        for block in blocks.values():
+            for succ in block.successors:
+                blocks[succ].predecessors.append(block.block_id)
+
+    def reverse_postorder(self) -> List[int]:
+        """Block ids in reverse post-order from the entry.
+
+        The natural iteration order for a forward data-flow worklist;
+        blocks unreachable from the entry are omitted.
+        """
+        seen: Dict[int, bool] = {}
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen[self.entry] = True
+        while stack:
+            block_id, next_succ = stack[-1]
+            succs = self.blocks[block_id].successors
+            if next_succ < len(succs):
+                stack[-1] = (block_id, next_succ + 1)
+                succ = succs[next_succ]
+                if not seen.get(succ):
+                    seen[succ] = True
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(block_id)
+        order.reverse()
+        return order
+
+
+class _Builder:
+    """Single-use lowering of a statement list into a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self._current: Optional[int] = self.entry
+        # (continue target, break target) per enclosing loop.
+        self._loops: List[Tuple[int, int]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new_block(self) -> int:
+        block_id = self._next_id
+        self._next_id = block_id + 1
+        self._blocks[block_id] = Block(block_id)
+        return block_id
+
+    def _edge(self, src: int, dst: int) -> None:
+        succs = self._blocks[src].successors
+        if dst not in succs:
+            succs.append(dst)
+
+    def _append(self, element: Element) -> None:
+        if self._current is None:
+            self._current = self._new_block()  # unreachable continuation
+        self._blocks[self._current].elements.append(element)
+
+    def _terminate(self, target: Optional[int]) -> None:
+        """End the current block, optionally with an edge to ``target``."""
+        if self._current is not None and target is not None:
+            self._edge(self._current, target)
+        self._current = None
+
+    def _branch_to_new(self) -> int:
+        """Start a fresh block reachable from the current one."""
+        block_id = self._new_block()
+        if self._current is not None:
+            self._edge(self._current, block_id)
+        self._current = block_id
+        return block_id
+
+    # -- statement lowering --------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        self._stmts(body)
+        self._terminate(self.exit)
+        return CFG(self._blocks, self.entry, self.exit)
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(stmt)
+            self._terminate(self.exit)
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            self._terminate(self._loops[-1][1] if self._loops else self.exit)
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            self._terminate(self._loops[-1][0] if self._loops else self.exit)
+        else:
+            # Simple statements — and nested function/class definitions,
+            # which are deliberately opaque single elements here.
+            self._append(stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        self._append(stmt.test)
+        head = self._current
+        assert head is not None
+        after = self._new_block()
+        self._branch_to_new()
+        self._stmts(stmt.body)
+        self._terminate(after)
+        if stmt.orelse:
+            self._current = head
+            self._branch_to_new()
+            self._stmts(stmt.orelse)
+            self._terminate(after)
+        else:
+            self._edge(head, after)
+        self._current = after
+
+    def _while(self, stmt: ast.While) -> None:
+        header = self._new_block()
+        self._terminate(header)
+        self._current = header
+        self._append(stmt.test)
+        after = self._new_block()
+        self._loops.append((header, after))
+        self._branch_to_new()
+        self._stmts(stmt.body)
+        self._terminate(header)
+        self._loops.pop()
+        if stmt.orelse:
+            self._current = header
+            self._branch_to_new()
+            self._stmts(stmt.orelse)
+            self._terminate(after)
+        else:
+            self._edge(header, after)
+        self._current = after
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor]) -> None:
+        # Evaluate the iterable once on entry, then bind the target at
+        # the loop header so the binding joins with back-edge state.
+        self._append(stmt.iter)
+        header = self._new_block()
+        self._terminate(header)
+        self._current = header
+        self._append(
+            Bind(stmt.target, stmt.iter, stmt.lineno, stmt.col_offset)
+        )
+        after = self._new_block()
+        self._loops.append((header, after))
+        self._branch_to_new()
+        self._stmts(stmt.body)
+        self._terminate(header)
+        self._loops.pop()
+        if stmt.orelse:
+            self._current = header
+            self._branch_to_new()
+            self._stmts(stmt.orelse)
+            self._terminate(after)
+        else:
+            self._edge(header, after)
+        self._current = after
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith]) -> None:
+        for item in stmt.items:
+            self._append(item.context_expr)
+            if item.optional_vars is not None:
+                self._append(
+                    Bind(
+                        item.optional_vars,
+                        item.context_expr,
+                        stmt.lineno,
+                        stmt.col_offset,
+                    )
+                )
+        self._stmts(stmt.body)
+
+    def _try(self, stmt: ast.Try) -> None:
+        first_body_block = self._branch_to_new()
+        self._stmts(stmt.body)
+        body_exit = self._current
+        protected = list(range(first_body_block, self._next_id))
+        handler_exits: List[Optional[int]] = []
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            entry = self._new_block()
+            handler_entries.append(entry)
+            self._current = entry
+            if handler.name is not None:
+                self._append(
+                    Bind(
+                        ast.copy_location(
+                            ast.Name(id=handler.name, ctx=ast.Store()),
+                            handler,
+                        ),
+                        handler.type,
+                        handler.lineno,
+                        handler.col_offset,
+                    )
+                )
+            self._stmts(handler.body)
+            handler_exits.append(self._current)
+        # Any protected block may raise into any handler.
+        for block_id in protected:
+            for entry in handler_entries:
+                self._edge(block_id, entry)
+        self._current = body_exit
+        if stmt.orelse:
+            if self._current is None:
+                self._current = self._new_block()
+                # else is unreachable if the body always exits; keep it
+                # as an island so its elements are still visited.
+            self._stmts(stmt.orelse)
+        else_exit = self._current
+        final_entry = self._new_block()
+        for exit_block in [else_exit, *handler_exits]:
+            if exit_block is not None:
+                self._edge(exit_block, final_entry)
+        self._current = final_entry
+        if stmt.finalbody:
+            self._stmts(stmt.finalbody)
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Lower a statement list (function or module body) into a CFG."""
+    return _Builder().build(body)
+
+
+__all__ = ["Bind", "Block", "CFG", "Element", "build_cfg"]

@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import LintError
+from repro.lint.cache import LintCache
 from repro.lint.rules import (
     FileContext,
     Finding,
@@ -60,19 +61,42 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             raise LintError(f"no such file or directory: {raw}")
 
 
+def lint_files(
+    files: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    cache: Optional[LintCache] = None,
+) -> List[Finding]:
+    """Lint an explicit file list, optionally through a result cache."""
+    resolve_rules(rule_ids)  # fail fast on unknown ids before any I/O
+    findings: List[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
+        if cache is not None:
+            key = cache.key_for(source, rule_ids)
+            cached = cache.lookup(key, path)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            fresh = lint_source(source, path=path, rule_ids=rule_ids)
+            cache.store(key, path, fresh)
+            findings.extend(fresh)
+        else:
+            findings.extend(
+                lint_source(source, path=path, rule_ids=rule_ids)
+            )
+    return sorted(findings)
+
+
 def lint_paths(
     paths: Sequence[str],
     rule_ids: Optional[Sequence[str]] = None,
+    cache: Optional[LintCache] = None,
 ) -> List[Finding]:
     """Lint every Python file under ``paths``; findings sorted by location."""
-    resolve_rules(rule_ids)  # fail fast on unknown ids before any I/O
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            lint_source(source, path=str(file_path), rule_ids=rule_ids)
-        )
-    return sorted(findings)
+    return lint_files(
+        list(iter_python_files(paths)), rule_ids=rule_ids, cache=cache
+    )
 
 
 __all__ = [
@@ -80,6 +104,7 @@ __all__ = [
     "Rule",
     "PARSE_RULE_ID",
     "iter_python_files",
+    "lint_files",
     "lint_paths",
     "lint_source",
 ]

@@ -1,0 +1,83 @@
+"""Git-scoped lint target selection for ``pccs lint --changed-only``.
+
+Asks git for the working tree's changed files (staged, unstaged, and
+untracked) and intersects them with the requested lint paths, so a
+pre-commit hook lints only what the commit touches. Degrades safely:
+when git is unavailable, the directory is not a repository, or the
+subprocess fails for any reason, callers receive ``None`` and should
+fall back to a full lint rather than silently lint nothing.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+_GIT_TIMEOUT_S = 10.0
+
+
+def _git_lines(args: Sequence[str], cwd: Path) -> Optional[List[str]]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=_GIT_TIMEOUT_S,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(cwd: Optional[Path] = None) -> Optional[List[Path]]:
+    """Changed-vs-HEAD ``.py`` files, or ``None`` when git can't say.
+
+    Union of ``git diff --name-only HEAD`` (staged + unstaged edits)
+    and ``git ls-files --others --exclude-standard`` (untracked), both
+    relative to the repository root. Deleted files are skipped — there
+    is nothing left to lint.
+    """
+    base = Path.cwd() if cwd is None else Path(cwd)
+    top = _git_lines(["rev-parse", "--show-toplevel"], base)
+    if not top:
+        return None
+    root = Path(top[0])
+    changed = _git_lines(["diff", "--name-only", "HEAD"], root)
+    untracked = _git_lines(
+        ["ls-files", "--others", "--exclude-standard"], root
+    )
+    if changed is None or untracked is None:
+        return None
+    files: List[Path] = []
+    seen = set()
+    for rel in [*changed, *untracked]:
+        if not rel.endswith(".py") or rel in seen:
+            continue
+        seen.add(rel)
+        path = root / rel
+        if path.is_file():
+            files.append(path)
+    return sorted(files)
+
+
+def restrict_to_paths(
+    files: Sequence[Path], roots: Sequence[str]
+) -> List[Path]:
+    """Subset of ``files`` living under any of the requested ``roots``."""
+    resolved_roots = [Path(root).resolve() for root in roots]
+    out: List[Path] = []
+    for file_path in files:
+        resolved = file_path.resolve()
+        for root in resolved_roots:
+            if resolved == root or root in resolved.parents:
+                out.append(file_path)
+                break
+    return out
+
+
+__all__ = ["changed_python_files", "restrict_to_paths"]

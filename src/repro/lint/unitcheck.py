@@ -1,0 +1,592 @@
+"""LINT010 — flow-aware dimensional analysis over the unit conventions.
+
+PCCS mixes quantities whose *numbers* are all floats but whose *units*
+are not: bandwidth in GB/s, time in seconds, DRAM timing in
+nanoseconds, clocks in MHz, byte counts, and dimensionless fractions
+(Eq. 1–5, Tables 1–10 of the paper). A GB/s value added to a byte
+count, or a nanosecond latency passed where seconds are expected,
+produces a plausible-looking float that silently corrupts a figure.
+
+This analyzer infers a unit tag for every expression from the
+machine-readable declarations in :mod:`repro.units`
+(``UNIT_SUFFIXES`` / ``UNIT_NAMES`` naming conventions and the
+``UNIT_SIGNATURES`` converter table), propagates tags through local
+assignments with the CFG/data-flow layer, applies a small dimensional
+algebra (same-tag division yields a fraction, multiplying gigabytes by
+``GIGA`` yields bytes, ...), and flags:
+
+- ``+``/``-``/``+=``/``-=`` between two *different* known tags;
+- comparisons between different known tags (incl. ``min``/``max`` args
+  and mismatched arms of a conditional expression);
+- calls whose argument tag conflicts with the declared or
+  convention-implied parameter tag — including the double-conversion
+  trap ``bytes_to_gb(x_gb)``;
+- assigning or returning a value whose tag conflicts with the
+  convention implied by the target/function name.
+
+Inference is deliberately optimistic-on-unknowns: an expression
+without a definite single tag never fires, so the rule stays clean on
+code it cannot prove wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import FileContext, Finding
+from repro.lint.cfg import Bind, Element, build_cfg
+from repro.lint.dataflow import (
+    State,
+    dotted_name,
+    iter_elements_with_state,
+    solve_forward,
+    target_names,
+)
+from repro.units import (
+    UNIT_NAMES,
+    UNIT_SIGNATURES,
+    UNIT_SUFFIXES,
+)
+
+RULE_ID = "LINT010"
+
+# Names that multiply/divide a quantity by 1e9 and therefore *transform*
+# its tag rather than preserving it.
+_GIGA_NAMES = frozenset({"GIGA"})
+_GIGA_VALUE = 1e9
+_INV_GIGA_VALUE = 1e-9
+# Other scale constants change the unit to something untracked (MHz->Hz,
+# KB, ms, ...): the result is unknown, never a silent tag carry-over.
+_OTHER_SCALE_NAMES = frozenset({"MEGA", "KILO"})
+_OTHER_SCALE_VALUES = frozenset({1e6, 1e3, 1e-3, 1e-6})
+
+_MUL_GIGA: Dict[str, str] = {"gb": "bytes", "seconds": "ns"}
+_DIV_GIGA: Dict[str, str] = {
+    "bytes": "gb",
+    "ns": "seconds",
+    "bytes_per_s": "gbps",
+}
+
+# Dimensioned quotients/products the model actually uses.
+_DIV_PAIRS: Dict[Tuple[str, str], str] = {
+    ("bytes", "seconds"): "bytes_per_s",
+    ("bytes", "ns"): "gbps",  # bytes per ns == GB/s
+    ("gb", "seconds"): "gbps",
+}
+_MUL_PAIRS: Dict[Tuple[str, str], str] = {
+    ("gbps", "seconds"): "gb",
+    ("gbps", "ns"): "bytes",
+}
+
+_PASSTHROUGH_FUNCS = frozenset(
+    {"int", "float", "abs", "round", "clamp", "floor", "ceil", "trunc"}
+)
+_REDUCE_FUNCS = frozenset({"sum", "min", "max"})
+
+
+def infer_name_tag(name: str) -> Optional[str]:
+    """Tag implied by a (dotted) name per the repro.units conventions."""
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if "per_" in leaf:
+        return None  # time_per_gb is seconds/GB, not gigabytes
+    exact = UNIT_NAMES.get(leaf)
+    if exact is not None:
+        return exact
+    for suffix, tag in UNIT_SUFFIXES.items():
+        if leaf.endswith(suffix):
+            return tag
+    return None
+
+
+def _tag_from_state(state: State, name: str) -> Optional[str]:
+    tags = state.get(name)
+    if tags is None:
+        return infer_name_tag(name)
+    if len(tags) == 1:
+        return next(iter(tags))
+    return None  # conflicting flow facts: unknown
+
+
+class _FunctionIndex:
+    """Parameter names and expected return tags of local callables."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.params: Dict[str, Tuple[str, ...]] = {}
+        ambiguous: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            names = tuple(a.arg for a in node.args.args)
+            if node.name in self.params and self.params[node.name] != names:
+                ambiguous.add(node.name)
+            self.params[node.name] = names
+        for name in ambiguous:
+            del self.params[name]
+
+    def param_tags(
+        self, func_name: str, is_method_call: bool
+    ) -> Optional[Tuple[Optional[str], ...]]:
+        names = self.params.get(func_name)
+        if names is None:
+            return None
+        if is_method_call and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return tuple(infer_name_tag(n) for n in names)
+
+
+class _UnitAnalyzer:
+    """Per-module LINT010 pass: module body plus every function body."""
+
+    def __init__(self, tree: ast.Module, ctx: FileContext) -> None:
+        self._tree = tree
+        self._ctx = ctx
+        self._findings: List[Finding] = []
+        self._collect = False
+        self._index = _FunctionIndex(tree)
+        self._scalar_names = self._module_scalars(tree)
+        self._expected_return: Optional[str] = None
+
+    @staticmethod
+    def _module_scalars(tree: ast.Module) -> Set[str]:
+        """Module-level names bound to bare numeric literals.
+
+        Multiplying by one of these (``_DAMPING``, ``_EPS``) preserves
+        a tag the way a literal does — unless the name itself carries a
+        unit suffix, in which case the suffix wins.
+        """
+        scalars: Set[str] = set()
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.UnaryOp) and isinstance(
+                value.op, (ast.USub, ast.UAdd)
+            ):
+                value = value.operand
+            if not (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, (int, float))
+                and not isinstance(value.value, bool)
+            ):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not infer_name_tag(
+                    target.id
+                ):
+                    scalars.add(target.id)
+        return scalars
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        self._analyze_body(self._tree.body, expected_return=None)
+        for node in ast.walk(self._tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_body(
+                    node.body, expected_return=infer_name_tag(node.name)
+                )
+            elif isinstance(node, ast.ClassDef):
+                # Class bodies (dataclass field defaults etc.); methods
+                # inside are opaque elements analyzed by their own pass.
+                self._analyze_body(node.body, expected_return=None)
+        return self._findings
+
+    def _analyze_body(
+        self, body: Sequence[ast.stmt], expected_return: Optional[str]
+    ) -> None:
+        self._expected_return = expected_return
+        cfg = build_cfg(body)
+        self._collect = False
+        in_states = solve_forward(cfg, self._transfer)
+        self._collect = True
+        for element, state in iter_elements_with_state(
+            cfg, in_states, self._transfer
+        ):
+            # The walk itself re-applies the transfer, which evaluates
+            # each element's expressions exactly once with _collect on.
+            del element, state
+        self._collect = False
+
+    # ------------------------------------------------------------------
+    # Transfer function
+    # ------------------------------------------------------------------
+    def _transfer(self, element: Element, state: State) -> None:
+        if isinstance(element, Bind):
+            # Loop/with/except bindings: drop flow facts so the name
+            # conventions take over for the bound variable.
+            for name in target_names(element.target):
+                state.pop(name, None)
+        elif isinstance(element, ast.Assign):
+            tag = self.eval(element.value, state)
+            for target in element.targets:
+                self._assign(target, tag, state, element)
+        elif isinstance(element, ast.AnnAssign):
+            if element.value is not None:
+                tag = self.eval(element.value, state)
+                self._assign(element.target, tag, state, element)
+        elif isinstance(element, ast.AugAssign):
+            value_tag = self.eval(element.value, state)
+            if isinstance(element.op, (ast.Add, ast.Sub)):
+                target_name = dotted_name(element.target)
+                if target_name is not None:
+                    target_tag = _tag_from_state(state, target_name)
+                    self._check_pair(
+                        target_tag,
+                        value_tag,
+                        element,
+                        f"augmented {self._op_word(element.op)}",
+                    )
+        elif isinstance(element, ast.Return):
+            if element.value is not None:
+                tag = self.eval(element.value, state)
+                if (
+                    self._expected_return is not None
+                    and tag is not None
+                    and tag != self._expected_return
+                ):
+                    self._flag(
+                        element,
+                        f"returns a {tag} value from a function whose "
+                        f"name declares {self._expected_return}",
+                    )
+        elif isinstance(element, ast.expr):
+            self.eval(element, state)
+        elif isinstance(element, (ast.Expr, ast.Assert)):
+            if isinstance(element, ast.Expr):
+                self.eval(element.value, state)
+            else:
+                self.eval(element.test, state)
+                if element.msg is not None:
+                    self.eval(element.msg, state)
+        elif isinstance(element, ast.Raise):
+            if element.exc is not None:
+                self.eval(element.exc, state)
+        elif isinstance(element, ast.Delete):
+            for target in element.targets:
+                for name in target_names(target):
+                    state.pop(name, None)
+
+    def _assign(
+        self,
+        target: ast.expr,
+        tag: Optional[str],
+        state: State,
+        anchor: ast.stmt,
+    ) -> None:
+        for name in target_names(target):
+            implied = infer_name_tag(name)
+            if tag is not None and implied is not None and tag != implied:
+                self._flag(
+                    anchor,
+                    f"assigns a {tag} value to {name!r}, which by "
+                    f"naming convention carries {implied}",
+                )
+                state[name] = frozenset({implied})
+            elif tag is not None:
+                state[name] = frozenset({tag})
+            else:
+                state.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation (tag inference + mismatch checks)
+    # ------------------------------------------------------------------
+    def eval(self, expr: ast.expr, state: State) -> Optional[str]:
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Name):
+            return _tag_from_state(state, expr.id)
+        if isinstance(expr, ast.Attribute):
+            self.eval(expr.value, state)
+            name = dotted_name(expr)
+            if name is not None:
+                return _tag_from_state(state, name)
+            return infer_name_tag(expr.attr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand, state)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, state)
+        if isinstance(expr, ast.Compare):
+            self._eval_compare(expr, state)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, state)
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, state)
+            body = self.eval(expr.body, state)
+            orelse = self.eval(expr.orelse, state)
+            if body is not None and orelse is not None and body != orelse:
+                self._flag(
+                    expr,
+                    f"conditional expression mixes {body} and {orelse} "
+                    "arms",
+                )
+                return None
+            return body if body is not None else orelse
+        if isinstance(expr, ast.NamedExpr):
+            tag = self.eval(expr.value, state)
+            self._assign_walrus(expr.target, tag, state)
+            return tag
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in expr.generators:
+                self.eval(comp.iter, state)
+                for cond in comp.ifs:
+                    self.eval(cond, state)
+            return self.eval(expr.elt, state)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.eval(value, state)
+            return None
+        if isinstance(expr, ast.Lambda):
+            return None  # separate scope; not analyzed here
+        # Containers, subscripts, f-strings, ...: no tag of their own,
+        # but sub-expressions still get checked.
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval(child, state)
+        return None
+
+    def _assign_walrus(
+        self, target: ast.expr, tag: Optional[str], state: State
+    ) -> None:
+        name = dotted_name(target)
+        if name is None:
+            return
+        if tag is not None:
+            state[name] = frozenset({tag})
+        else:
+            state.pop(name, None)
+
+    # -- scale/scalar classification -----------------------------------
+    def _scale_kind(self, expr: ast.expr, state: State) -> Optional[str]:
+        """'giga' / 'inv_giga' / 'other_scale' / 'scalar' / None."""
+        node = expr
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ):
+            value = float(node.value)
+            if value == _GIGA_VALUE:
+                return "giga"
+            if value == _INV_GIGA_VALUE:
+                return "inv_giga"
+            if value in _OTHER_SCALE_VALUES:
+                return "other_scale"
+            return "scalar"
+        leaf: Optional[str] = None
+        if isinstance(node, ast.Name):
+            leaf = node.id
+        elif isinstance(node, ast.Attribute):
+            leaf = node.attr
+        if leaf is not None:
+            if leaf in _GIGA_NAMES:
+                return "giga"
+            if leaf in _OTHER_SCALE_NAMES:
+                return "other_scale"
+            if (
+                isinstance(node, ast.Name)
+                and leaf in self._scalar_names
+                and leaf not in state
+            ):
+                return "scalar"
+        return None
+
+    # -- operators ------------------------------------------------------
+    def _eval_binop(self, expr: ast.BinOp, state: State) -> Optional[str]:
+        left_kind = self._scale_kind(expr.left, state)
+        right_kind = self._scale_kind(expr.right, state)
+        left = None if left_kind else self.eval(expr.left, state)
+        right = None if right_kind else self.eval(expr.right, state)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            self._check_pair(left, right, expr, self._op_word(expr.op))
+            if left is not None and right is not None and left != right:
+                return None
+            return left if left is not None else right
+        if isinstance(expr.op, ast.Mult):
+            return self._eval_mult(left, left_kind, right, right_kind)
+        if isinstance(expr.op, ast.Div):
+            return self._eval_div(left, left_kind, right, right_kind)
+        # Pow, FloorDiv, Mod, bit ops: untracked dimensions.
+        return None
+
+    def _eval_mult(
+        self,
+        left: Optional[str],
+        left_kind: Optional[str],
+        right: Optional[str],
+        right_kind: Optional[str],
+    ) -> Optional[str]:
+        for tag, kind in ((left, right_kind), (right, left_kind)):
+            if tag is None:
+                continue
+            if kind == "giga":
+                return _MUL_GIGA.get(tag)
+            if kind == "inv_giga":
+                return _DIV_GIGA.get(tag)
+            if kind == "scalar":
+                return tag
+            if kind == "other_scale":
+                return None
+        if left == "fraction" and right is not None:
+            return right if right != "fraction" else "fraction"
+        if right == "fraction" and left is not None:
+            return left
+        if left is not None and right is not None:
+            pair = (left, right) if (left, right) in _MUL_PAIRS else (
+                right,
+                left,
+            )
+            return _MUL_PAIRS.get(pair)
+        return None
+
+    def _eval_div(
+        self,
+        left: Optional[str],
+        left_kind: Optional[str],
+        right: Optional[str],
+        right_kind: Optional[str],
+    ) -> Optional[str]:
+        if left is not None:
+            if right_kind == "giga":
+                return _DIV_GIGA.get(left)
+            if right_kind == "inv_giga":
+                return _MUL_GIGA.get(left)
+            if right_kind == "scalar":
+                return left
+            if right_kind == "other_scale":
+                return None
+            if right == "fraction":
+                return left
+            if right is not None:
+                if left == right:
+                    return "fraction"
+                return _DIV_PAIRS.get((left, right))
+        return None
+
+    def _eval_compare(self, expr: ast.Compare, state: State) -> None:
+        operands = [expr.left, *expr.comparators]
+        tags = [self.eval(op, state) for op in operands]
+        for i, op in enumerate(expr.ops):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            self._check_pair(tags[i], tags[i + 1], expr, "comparison")
+
+    # -- calls ----------------------------------------------------------
+    def _eval_call(self, expr: ast.Call, state: State) -> Optional[str]:
+        func = expr.func
+        func_name: Optional[str] = None
+        is_method_call = False
+        if isinstance(func, ast.Name):
+            func_name = func.id
+        elif isinstance(func, ast.Attribute):
+            func_name = func.attr
+            # param_tags drops a leading self/cls only, so module
+            # functions reached via an alias still line up.
+            is_method_call = True
+            self.eval(func.value, state)
+        arg_tags = [self.eval(arg, state) for arg in expr.args]
+        kw_tags: List[Tuple[Optional[str], Optional[str], ast.keyword]] = []
+        for kw in expr.keywords:
+            value_tag = self.eval(kw.value, state)
+            implied = infer_name_tag(kw.arg) if kw.arg is not None else None
+            kw_tags.append((implied, value_tag, kw))
+        for implied, value_tag, kw in kw_tags:
+            if (
+                implied is not None
+                and value_tag is not None
+                and value_tag != implied
+            ):
+                self._flag(
+                    expr,
+                    f"passes a {value_tag} value as keyword "
+                    f"{kw.arg!r}, which by naming convention expects "
+                    f"{implied}",
+                )
+        if func_name is None:
+            return None
+        signature = UNIT_SIGNATURES.get(func_name)
+        if signature is not None:
+            declared, return_tag = signature
+            for i, (want, got) in enumerate(zip(declared, arg_tags)):
+                if want is not None and got is not None and got != want:
+                    self._flag(
+                        expr,
+                        f"argument {i + 1} of {func_name}() is {got} "
+                        f"but the converter expects {want} (double "
+                        "conversion?)",
+                    )
+            return return_tag
+        if func_name in _PASSTHROUGH_FUNCS:
+            if func_name == "clamp" and len(arg_tags) >= 3:
+                for bound in arg_tags[1:3]:
+                    self._check_pair(
+                        arg_tags[0], bound, expr, "clamp() bound"
+                    )
+            return arg_tags[0] if arg_tags else None
+        if func_name in _REDUCE_FUNCS:
+            known = [t for t in arg_tags if t is not None]
+            if func_name in ("min", "max") and len(expr.args) > 1:
+                if len(known) > 1 and len(set(known)) > 1:
+                    self._flag(
+                        expr,
+                        f"{func_name}() over mixed units "
+                        f"({', '.join(sorted(set(known)))})",
+                    )
+                    return None
+            if len(set(known)) == 1 and len(known) == len(arg_tags):
+                return known[0]
+            if len(expr.args) == 1:
+                return arg_tags[0]
+            return None
+        local = self._index.param_tags(func_name, is_method_call)
+        if local is not None:
+            for i, (want, got) in enumerate(zip(local, arg_tags)):
+                if want is not None and got is not None and got != want:
+                    self._flag(
+                        expr,
+                        f"argument {i + 1} of {func_name}() is {got} "
+                        f"but the parameter name implies {want}",
+                    )
+        return infer_name_tag(func_name)
+
+    # -- reporting ------------------------------------------------------
+    def _check_pair(
+        self,
+        left: Optional[str],
+        right: Optional[str],
+        anchor: ast.AST,
+        what: str,
+    ) -> None:
+        if left is not None and right is not None and left != right:
+            self._flag(anchor, f"{what} mixes {left} and {right}")
+
+    @staticmethod
+    def _op_word(op: ast.operator) -> str:
+        return "addition" if isinstance(op, ast.Add) else "subtraction"
+
+    def _flag(self, anchor: ast.AST, detail: str) -> None:
+        if not self._collect:
+            return
+        finding = Finding(
+            file=self._ctx.path,
+            line=getattr(anchor, "lineno", 1),
+            col=getattr(anchor, "col_offset", 0),
+            rule=RULE_ID,
+            message=f"unit mismatch: {detail}",
+        )
+        if finding not in self._findings:
+            self._findings.append(finding)
+
+
+def check_units(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    """LINT010 entry point (registered in :mod:`repro.lint.rules`)."""
+    return _UnitAnalyzer(tree, ctx).run()
+
+
+__all__ = ["RULE_ID", "check_units", "infer_name_tag"]

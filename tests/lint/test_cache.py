@@ -1,0 +1,73 @@
+"""Lint result cache: hits, invalidation, and corruption tolerance."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.cache import LintCache
+from repro.lint.engine import lint_files
+
+_BAD = "def f(x=[]):\n    return x\n"
+_GOOD = "def f(x=None):\n    return x\n"
+
+
+def _write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestCacheBehavior:
+    def test_second_run_hits(self, tmp_path):
+        target = _write(tmp_path, "mod.py", _GOOD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        first = lint_files([target], cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        second = lint_files([target], cache=cache)
+        assert cache.hits == 1
+        assert first == second == []
+
+    def test_cached_findings_match_fresh(self, tmp_path):
+        target = _write(tmp_path, "mod.py", _BAD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        fresh = lint_files([target], cache=cache)
+        cached = lint_files([target], cache=cache)
+        assert fresh == cached
+        assert len(fresh) == 1 and fresh[0].rule == "LINT005"
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = _write(tmp_path, "mod.py", _BAD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        assert len(lint_files([target], cache=cache)) == 1
+        target.write_text(_GOOD, encoding="utf-8")
+        assert lint_files([target], cache=cache) == []
+        assert cache.misses == 2
+
+    def test_rule_subset_has_its_own_entries(self, tmp_path):
+        target = _write(tmp_path, "mod.py", _BAD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        all_rules = lint_files([target], cache=cache)
+        subset = lint_files([target], rule_ids=["LINT001"], cache=cache)
+        assert len(all_rules) == 1
+        assert subset == []
+        assert cache.misses == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        target = _write(tmp_path, "mod.py", _GOOD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        lint_files([target], cache=cache)
+        for entry in (tmp_path / ".lint-cache").rglob("*.json"):
+            entry.write_text("{ not json", encoding="utf-8")
+        assert lint_files([target], cache=cache) == []
+        assert cache.misses == 2
+
+    def test_same_content_other_path_shares_only_clean(self, tmp_path):
+        # Findings embed the display path, so a non-empty entry must
+        # not be replayed for a different file with identical bytes.
+        first = _write(tmp_path, "a.py", _BAD)
+        second = _write(tmp_path, "b.py", _BAD)
+        cache = LintCache(tmp_path / ".lint-cache")
+        lint_files([first], cache=cache)
+        findings = lint_files([second], cache=cache)
+        assert cache.misses == 2
+        assert findings and findings[0].file == str(second)

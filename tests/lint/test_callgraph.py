@@ -1,0 +1,129 @@
+"""Module call graph: resolution, reachability, unpicklable returns."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import (
+    ModuleCallGraph,
+    direct_unpicklable,
+    module_unpicklable_globals,
+    walk_scope,
+)
+
+
+def _graph(source: str) -> ModuleCallGraph:
+    return ModuleCallGraph(ast.parse(source))
+
+
+class TestGraphShape:
+    def test_module_functions_and_methods_indexed(self):
+        graph = _graph(
+            "def helper():\n"
+            "    pass\n"
+            "class Job:\n"
+            "    def run(self):\n"
+            "        helper()\n"
+        )
+        assert set(graph.functions) == {"helper", "Job.run"}
+        assert graph.functions["Job.run"].callees == {"helper"}
+
+    def test_self_calls_resolve_to_methods(self):
+        graph = _graph(
+            "class Job:\n"
+            "    def run(self):\n"
+            "        self.setup()\n"
+            "    def setup(self):\n"
+            "        pass\n"
+        )
+        assert graph.functions["Job.run"].callees == {"Job.setup"}
+
+    def test_unknown_names_do_not_resolve(self):
+        graph = _graph(
+            "def run():\n"
+            "    imported_helper()\n"
+        )
+        assert graph.functions["run"].callees == set()
+
+    def test_reachable_is_transitive(self):
+        graph = _graph(
+            "def a():\n    b()\n"
+            "def b():\n    c()\n"
+            "def c():\n    pass\n"
+            "def unrelated():\n    pass\n"
+        )
+        assert graph.reachable(["a"]) == {"a", "b", "c"}
+
+
+class TestUnpicklableReturns:
+    def test_direct_lambda_return_flagged(self):
+        graph = _graph("def make():\n    return lambda x: x\n")
+        assert "make" in graph.unpicklable_returns()
+
+    def test_transitive_flagging_through_chain(self):
+        graph = _graph(
+            "def leaf():\n    return lambda x: x\n"
+            "def mid():\n    return leaf()\n"
+            "def top():\n    return mid()\n"
+        )
+        flagged = graph.unpicklable_returns()
+        assert {"leaf", "mid", "top"} <= set(flagged)
+
+    def test_closure_return_flagged(self):
+        graph = _graph(
+            "def make():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    return inner\n"
+        )
+        assert "make" in graph.unpicklable_returns()
+
+    def test_open_handle_return_flagged(self):
+        graph = _graph("def grab():\n    return open('f')\n")
+        assert "grab" in graph.unpicklable_returns()
+
+    def test_plain_value_returns_unflagged(self):
+        graph = _graph(
+            "def make():\n    return {'a': 1}\n"
+            "def wrap():\n    return make()\n"
+        )
+        assert graph.unpicklable_returns() == {}
+
+
+class TestHelpers:
+    def test_walk_scope_skips_nested_functions(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    x = 1\n"
+            "    def inner():\n"
+            "        y = 2\n"
+        )
+        outer = tree.body[0]
+        names = {
+            node.id
+            for node in walk_scope(outer.body)
+            if isinstance(node, ast.Name)
+        }
+        assert "x" in names
+        assert "y" not in names
+
+    def test_direct_unpicklable_forms(self):
+        assert direct_unpicklable(
+            ast.parse("lambda: 1", mode="eval").body
+        ) == "a lambda"
+        assert direct_unpicklable(
+            ast.parse("(x for x in y)", mode="eval").body
+        ) == "a generator expression"
+        assert (
+            direct_unpicklable(ast.parse("[1, 2]", mode="eval").body)
+            is None
+        )
+
+    def test_module_unpicklable_globals(self):
+        tree = ast.parse(
+            "KEYFN = lambda r: r.name\n"
+            "LIMIT = 5\n"
+        )
+        out = module_unpicklable_globals(tree)
+        assert set(out) == {"KEYFN"}
+        assert out["KEYFN"][0] == "a lambda"

@@ -1,0 +1,209 @@
+"""CFG construction: blocks, edges, and loop/try/branch shapes."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.cfg import CFG, Bind, build_cfg
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(source)
+    return build_cfg(tree.body)
+
+
+def _reachable(cfg: CFG) -> Set[int]:
+    seen: Set[int] = set()
+    pending = [cfg.entry]
+    while pending:
+        block_id = pending.pop()
+        if block_id in seen:
+            continue
+        seen.add(block_id)
+        pending.extend(cfg.blocks[block_id].successors)
+    return seen
+
+
+def _element_lines(cfg: CFG, block_id: int) -> List[int]:
+    return [e.lineno for e in cfg.blocks[block_id].elements]
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = _cfg("a = 1\nb = a + 1\nc = b\n")
+        assert cfg.blocks[cfg.entry].successors == [cfg.exit]
+        assert len(cfg.blocks[cfg.entry].elements) == 3
+
+    def test_empty_body(self):
+        cfg = _cfg("")
+        assert cfg.exit in _reachable(cfg)
+
+
+class TestBranches:
+    def test_if_else_diamond(self):
+        cfg = _cfg(
+            "a = 1\n"
+            "if a:\n"
+            "    b = 2\n"
+            "else:\n"
+            "    b = 3\n"
+            "c = b\n"
+        )
+        head = cfg.blocks[cfg.entry]
+        assert len(head.successors) == 2
+        then_id, else_id = head.successors
+        # Both arms converge on the same join block.
+        assert (
+            cfg.blocks[then_id].successors
+            == cfg.blocks[else_id].successors
+        )
+
+    def test_if_without_else_falls_through(self):
+        cfg = _cfg("a = 1\nif a:\n    b = 2\nc = 3\n")
+        head = cfg.blocks[cfg.entry]
+        assert len(head.successors) == 2
+        then_id, join_id = head.successors
+        assert cfg.blocks[then_id].successors == [join_id]
+
+    def test_return_jumps_to_exit(self):
+        cfg = _cfg("if x:\n    return 1\ny = 2\n")
+        reachable = _reachable(cfg)
+        assert cfg.exit in reachable
+        exits_into = [
+            bid
+            for bid in reachable
+            for succ in cfg.blocks[bid].successors
+            if succ == cfg.exit
+        ]
+        # Both the early return and the fallthrough reach exit.
+        assert len(exits_into) >= 2
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg = _cfg("i = 0\nwhile i < 3:\n    i = i + 1\nj = i\n")
+        back_edges = [
+            (bid, succ)
+            for bid in _reachable(cfg)
+            for succ in cfg.blocks[bid].successors
+            if succ <= bid and succ != cfg.exit
+        ]
+        assert back_edges, "while loop produced no back edge"
+
+    def test_for_binds_iteration_target(self):
+        cfg = _cfg("total = 0\nfor x in items:\n    total += x\n")
+        binds = [
+            element
+            for bid in _reachable(cfg)
+            for element in cfg.blocks[bid].elements
+            if isinstance(element, Bind)
+        ]
+        assert any(
+            isinstance(b.target, ast.Name) and b.target.id == "x"
+            for b in binds
+        )
+
+    def test_break_exits_the_loop(self):
+        cfg = _cfg(
+            "while True:\n"
+            "    if done:\n"
+            "        break\n"
+            "    step()\n"
+            "after = 1\n"
+        )
+        # The 'after' assignment must still be reachable.
+        lines = [
+            line
+            for bid in _reachable(cfg)
+            for line in _element_lines(cfg, bid)
+        ]
+        assert 5 in lines
+
+    def test_loop_else_runs_after_header(self):
+        cfg = _cfg(
+            "for x in xs:\n"
+            "    use(x)\n"
+            "else:\n"
+            "    cleanup()\n"
+        )
+        lines = [
+            line
+            for bid in _reachable(cfg)
+            for line in _element_lines(cfg, bid)
+        ]
+        assert 4 in lines
+
+
+class TestTry:
+    def test_handler_reachable_from_body(self):
+        cfg = _cfg(
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    recover()\n"
+            "done = 1\n"
+        )
+        lines = [
+            line
+            for bid in _reachable(cfg)
+            for line in _element_lines(cfg, bid)
+        ]
+        assert 2 in lines and 4 in lines and 5 in lines
+
+    def test_except_binds_exception_name(self):
+        cfg = _cfg(
+            "try:\n"
+            "    risky()\n"
+            "except ValueError as exc:\n"
+            "    log(exc)\n"
+        )
+        binds = [
+            element
+            for bid in _reachable(cfg)
+            for element in cfg.blocks[bid].elements
+            if isinstance(element, Bind)
+        ]
+        assert any(
+            isinstance(b.target, ast.Name) and b.target.id == "exc"
+            for b in binds
+        )
+
+    def test_finally_reachable_on_both_paths(self):
+        cfg = _cfg(
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    recover()\n"
+            "finally:\n"
+            "    close()\n"
+        )
+        lines = [
+            line
+            for bid in _reachable(cfg)
+            for line in _element_lines(cfg, bid)
+        ]
+        assert 6 in lines
+
+
+class TestWith:
+    def test_with_binds_context_target(self):
+        cfg = _cfg("with open_ctx() as handle:\n    use(handle)\n")
+        binds = [
+            element
+            for bid in _reachable(cfg)
+            for element in cfg.blocks[bid].elements
+            if isinstance(element, Bind)
+        ]
+        assert any(
+            isinstance(b.target, ast.Name) and b.target.id == "handle"
+            for b in binds
+        )
+
+
+class TestOrdering:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = _cfg("a = 1\nif a:\n    b = 2\nc = 3\n")
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert set(order) == _reachable(cfg)

@@ -82,3 +82,93 @@ class TestOutput:
         # the same invariant tests/lint/test_self_clean.py pins).
         assert main(["lint"]) == 0
         capsys.readouterr()
+
+    def test_list_rules_includes_flow_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("LINT010", "LINT011", "LINT012"):
+            assert rule_id in out
+
+
+class TestCacheFlag:
+    def test_cache_populates_and_hits(
+        self, dirty_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--cache", str(dirty_file)]) == 1
+        err = capsys.readouterr().err
+        assert "0 hit(s), 1 miss(es)" in err
+        assert (tmp_path / ".lint-cache").is_dir()
+        assert main(["lint", "--cache", str(dirty_file)]) == 1
+        err = capsys.readouterr().err
+        assert "1 hit(s), 0 miss(es)" in err
+
+    def test_cached_run_matches_uncached(
+        self, dirty_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        main(["lint", str(dirty_file)])
+        plain = capsys.readouterr().out
+        main(["lint", "--cache", str(dirty_file)])
+        capsys.readouterr()
+        main(["lint", "--cache", str(dirty_file)])
+        cached = capsys.readouterr().out
+        assert cached == plain
+
+
+class TestChangedOnlyFlag:
+    def test_falls_back_to_full_lint_outside_git(
+        self, dirty_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-repo"))
+        assert main(["lint", "--changed-only", str(dirty_file)]) == 1
+        assert "LINT005" in capsys.readouterr().out
+
+
+class TestBaselineFlags:
+    def test_write_then_ratchet(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        assert main(
+            ["lint", "--write-baseline", str(base), str(dirty_file)]
+        ) == 0
+        assert "recorded 1 finding(s)" in capsys.readouterr().out
+        # Recorded debt is absorbed: exit code drops to clean.
+        assert main(
+            ["lint", "--baseline", str(base), str(dirty_file)]
+        ) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_new_finding_breaks_the_ratchet(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        main(["lint", "--write-baseline", str(base), str(dirty_file)])
+        capsys.readouterr()
+        dirty_file.write_text(
+            "import time\n"
+            "def f(out=[]):\n"
+            "    return out\n"
+            "def g():\n"
+            "    return time.time()\n"
+        )
+        assert main(
+            ["lint", "--baseline", str(base), str(dirty_file)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "LINT005" not in out  # absorbed by the baseline
+
+    def test_missing_baseline_is_usage_error(
+        self, dirty_file, tmp_path, capsys
+    ):
+        assert main(
+            [
+                "lint",
+                "--baseline",
+                str(tmp_path / "absent.json"),
+                str(dirty_file),
+            ]
+        ) == 2
+        assert "baseline" in capsys.readouterr().err

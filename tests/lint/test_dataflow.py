@@ -1,0 +1,141 @@
+"""Data-flow solver: fixpoints, joins, taint and reaching definitions."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    ReachingDefinitions,
+    TaintAnalysis,
+    dotted_name,
+    solve_forward,
+    target_names,
+)
+
+
+def _taint_at_exit(source: str) -> Dict[str, FrozenSet[str]]:
+    """Final taint state of a straight-through walk of ``source``."""
+    tree = ast.parse(source)
+    cfg = build_cfg(tree.body)
+    analysis = TaintAnalysis(_label_source)
+    state: Dict[str, FrozenSet[str]] = {}
+    for _, live in analysis.walk(cfg):
+        state = live
+    # walk() applies the transfer after each yield, so the live dict
+    # holds the post-state of the final element once iteration ends.
+    return state
+
+
+def _label_source(expr: ast.expr) -> Optional[str]:
+    """Treat any ``source()`` call as generating the label 'S'."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "source"
+    ):
+        return "S"
+    return None
+
+
+class TestHelpers:
+    def test_dotted_name_chains(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(expr) == "a.b.c"
+
+    def test_dotted_name_rejects_calls(self):
+        expr = ast.parse("f().b", mode="eval").body
+        assert dotted_name(expr) is None
+
+    def test_target_names_flattens_tuples(self):
+        target = ast.parse("(a, (b, c))", mode="eval").body
+        assert target_names(target) == ["a", "b", "c"]
+
+
+class TestTaint:
+    def test_direct_assignment_taints(self):
+        state = _taint_at_exit("x = source()\n")
+        assert state["x"] == frozenset({"S"})
+
+    def test_flows_through_locals(self):
+        state = _taint_at_exit("x = source()\ny = x + 1\nz = y\n")
+        assert state["z"] == frozenset({"S"})
+
+    def test_overwrite_clears_taint(self):
+        state = _taint_at_exit("x = source()\nx = 0\n")
+        assert state["x"] == frozenset()
+
+    def test_augassign_accumulates(self):
+        state = _taint_at_exit("x = 0\nx += source()\n")
+        assert state["x"] == frozenset({"S"})
+
+    def test_branch_join_unions(self):
+        state = _taint_at_exit(
+            "if flag:\n"
+            "    x = source()\n"
+            "else:\n"
+            "    x = 0\n"
+            "y = x\n"
+        )
+        # May-analysis: the tainted arm survives the join.
+        assert "S" in state["y"]
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        state = _taint_at_exit(
+            "x = 0\n"
+            "for i in items:\n"
+            "    y = x\n"
+            "    x = source()\n"
+        )
+        # Second iteration reads the first iteration's taint.
+        assert "S" in state.get("y", frozenset())
+
+    def test_receiver_mutation_taints_receiver(self):
+        state = _taint_at_exit("acc = box()\nacc.push(source())\n")
+        assert "S" in state["acc"]
+
+    def test_delete_drops_the_name(self):
+        state = _taint_at_exit("x = source()\ndel x\n")
+        assert "x" not in state
+
+    def test_clean_code_stays_clean(self):
+        state = _taint_at_exit("x = 1\ny = x * 2\n")
+        assert state["y"] == frozenset()
+
+
+class TestReachingDefinitions:
+    def test_last_definition_wins_straight_line(self):
+        tree = ast.parse("x = 1\nx = 2\n")
+        cfg = build_cfg(tree.body)
+        analysis = ReachingDefinitions()
+        pre_states = [dict(pre) for _, pre in analysis.walk(cfg)]
+        # Before the last statement only line 1's def reaches.
+        assert pre_states[-1]["x"] == frozenset({"line:1"})
+
+    def test_branch_definitions_both_reach_join(self):
+        tree = ast.parse(
+            "if flag:\n    x = 1\nelse:\n    x = 2\ny = x\n"
+        )
+        cfg = build_cfg(tree.body)
+        analysis = ReachingDefinitions()
+        states = analysis.solve(cfg)
+        exit_state = states.get(cfg.exit, {})
+        assert exit_state["x"] == frozenset({"line:2", "line:4"})
+
+
+class TestSolver:
+    def test_unreachable_blocks_get_no_state(self):
+        tree = ast.parse("return 1\nx = 2\n")
+        cfg = build_cfg(tree.body)
+        states = solve_forward(cfg, lambda element, state: None)
+        # The block holding 'x = 2' is dead; entry and exit still solve.
+        assert cfg.entry in states
+
+    def test_initial_state_seeds_entry(self):
+        tree = ast.parse("y = x\n")
+        cfg = build_cfg(tree.body)
+        analysis = TaintAnalysis(_label_source)
+        states = analysis.solve(cfg, initial={"x": frozenset({"S"})})
+        exit_state = states[cfg.exit]
+        assert exit_state["y"] == frozenset({"S"})

@@ -1,0 +1,160 @@
+"""LINT011 fixtures: clock/RNG taint reaching model state or output."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+_SCOPED = "src/repro/soc/fixture.py"
+_UNSCOPED = "src/repro/analysis/fixture.py"
+
+
+def _lint(source: str, path: str = _SCOPED):
+    return lint_source(
+        textwrap.dedent(source), path=path, rule_ids=["LINT011"]
+    )
+
+
+class TestTruePositives:
+    def test_wallclock_stored_into_model_state(self):
+        findings = _lint(
+            """
+            import time
+
+
+            class Engine:
+                def start(self):
+                    stamp = time.time()
+                    self.t0 = stamp
+            """
+        )
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+        assert "stored into model state" in findings[0].message
+
+    def test_taint_flows_through_arithmetic(self):
+        findings = _lint(
+            """
+            import time
+
+
+            def elapsed_model_ns(base_ns):
+                skew = time.time() * 1e9
+                return base_ns + skew
+            """
+        )
+        assert len(findings) == 1
+        assert "returned to callers" in findings[0].message
+
+    def test_unseeded_rng_draw_returned(self):
+        findings = _lint(
+            """
+            import random
+
+
+            def jitter():
+                rng = random.Random()
+                return rng.random()
+            """
+        )
+        assert len(findings) == 1
+        assert "returned to callers" in findings[0].message
+
+    def test_tainted_value_serialized(self):
+        findings = _lint(
+            """
+            import json
+            import time
+
+
+            def dump(results, fh):
+                stamped = {"at": time.time(), "results": results}
+                json.dump(stamped, fh)
+            """
+        )
+        assert any(
+            "written to serialized output" in f.message for f in findings
+        )
+
+    def test_datetime_now_yielded(self):
+        findings = _lint(
+            """
+            import datetime
+
+
+            def events():
+                mark = datetime.datetime.now()
+                yield mark
+            """
+        )
+        assert len(findings) == 1
+        assert "yielded to callers" in findings[0].message
+
+
+class TestTrueNegatives:
+    def test_seeded_rng_is_clean(self):
+        findings = _lint(
+            """
+            import random
+
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert findings == []
+
+    def test_overwritten_taint_is_clean(self):
+        findings = _lint(
+            """
+            import time
+
+
+            def probe():
+                stamp = time.time()
+                stamp = 0.0
+                return stamp
+            """
+        )
+        assert findings == []
+
+    def test_untainted_model_math_is_clean(self):
+        findings = _lint(
+            """
+            class Engine:
+                def advance(self, dt_ns):
+                    self.now_ns = self.now_ns + dt_ns
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_are_ignored(self):
+        findings = _lint(
+            """
+            import time
+
+
+            class Harness:
+                def start(self):
+                    self.t0 = time.time()
+            """,
+            path=_UNSCOPED,
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_pragma_disables_the_finding(self):
+        findings = _lint(
+            """
+            import time
+
+
+            class Engine:
+                def start(self):
+                    self.t0 = time.time()  # lint: disable=LINT011, LINT003
+            """
+        )
+        assert findings == []

@@ -59,3 +59,50 @@ class TestJsonReport:
         a = render_json(sample_findings())
         b = render_json(sample_findings())
         assert a == b
+
+
+FLOW_VIOLATIONS = """\
+import time
+
+
+def make_key():
+    return lambda r: r.name
+
+
+class SweepJob:
+    def __init__(self):
+        self.key = make_key()
+
+
+class Engine:
+    def start(self, traffic_bytes, elapsed_seconds):
+        self.t0 = time.time()
+        return traffic_bytes + elapsed_seconds
+"""
+
+
+class TestFlowRuleReporting:
+    """The JSON schema carries the flow-aware rule ids unchanged."""
+
+    def test_golden_payload_with_flow_rules(self):
+        findings = lint_source(
+            FLOW_VIOLATIONS,
+            path="src/repro/soc/fake.py",
+            rule_ids=["LINT010", "LINT011", "LINT012"],
+        )
+        payload = json.loads(render_json(findings))
+        rules = {entry["rule"] for entry in payload["findings"]}
+        assert rules == {"LINT010", "LINT011", "LINT012"}
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(findings)
+
+    def test_flow_rule_messages_render_in_text(self):
+        findings = lint_source(
+            FLOW_VIOLATIONS,
+            path="src/repro/soc/fake.py",
+            rule_ids=["LINT010", "LINT011", "LINT012"],
+        )
+        text = render_text(findings)
+        assert "stored into model state" in text
+        assert "parallel_map process boundary" in text
+        assert "unit mismatch" in text

@@ -1,0 +1,169 @@
+"""LINT010 fixtures: unit-mixing arithmetic caught, clean math ignored."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def _lint(source: str):
+    return lint_source(
+        textwrap.dedent(source),
+        path="src/repro/soc/fixture.py",
+        rule_ids=["LINT010"],
+    )
+
+
+class TestTruePositives:
+    def test_adding_bytes_to_seconds(self):
+        findings = _lint(
+            """
+            def bad(traffic_bytes, elapsed_seconds):
+                return traffic_bytes + elapsed_seconds
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "LINT010"
+        assert "bytes" in findings[0].message
+        assert "seconds" in findings[0].message
+
+    def test_mix_survives_flow_through_a_local(self):
+        findings = _lint(
+            """
+            def bad(total_bytes, window_ns):
+                volume = total_bytes
+                return volume + window_ns
+            """
+        )
+        assert len(findings) == 1
+        assert "bytes" in findings[0].message
+
+    def test_double_conversion(self):
+        findings = _lint(
+            """
+            from repro.units import bytes_to_gb
+
+            def bad(traffic_gb):
+                return bytes_to_gb(traffic_gb)
+            """
+        )
+        assert len(findings) == 1
+        assert "double" in findings[0].message
+
+    def test_keyword_argument_unit_mismatch(self):
+        findings = _lint(
+            """
+            def bad(record, elapsed_ns):
+                record.update(duration_seconds=elapsed_ns)
+            """
+        )
+        assert len(findings) == 1
+        assert "ns" in findings[0].message
+
+    def test_comparison_across_units(self):
+        findings = _lint(
+            """
+            def bad(latency_ns, budget_seconds):
+                return latency_ns > budget_seconds
+            """
+        )
+        assert len(findings) == 1
+        assert "comparison" in findings[0].message
+
+    def test_return_type_contradicts_function_name(self):
+        findings = _lint(
+            """
+            def window_seconds(span_ns):
+                return span_ns
+            """
+        )
+        assert len(findings) == 1
+        assert "seconds" in findings[0].message
+
+
+class TestTrueNegatives:
+    def test_giga_conversion_is_clean(self):
+        findings = _lint(
+            """
+            def good(traffic_bytes):
+                traffic_gb = traffic_bytes / 1e9
+                return traffic_gb
+            """
+        )
+        assert findings == []
+
+    def test_same_unit_arithmetic_is_clean(self):
+        findings = _lint(
+            """
+            def good(read_bytes, write_bytes):
+                total_bytes = read_bytes + write_bytes
+                return total_bytes
+            """
+        )
+        assert findings == []
+
+    def test_bandwidth_from_bytes_over_seconds(self):
+        findings = _lint(
+            """
+            def good(traffic_bytes, elapsed_seconds):
+                rate_bytes_per_s = traffic_bytes / elapsed_seconds
+                return rate_bytes_per_s
+            """
+        )
+        assert findings == []
+
+    def test_fraction_from_same_unit_ratio(self):
+        findings = _lint(
+            """
+            def utilization(demand_gbps, peak_gbps):
+                return demand_gbps / peak_gbps
+            """
+        )
+        assert findings == []
+
+    def test_unknown_names_never_fire(self):
+        findings = _lint(
+            """
+            def opaque(a, b):
+                return a + b
+            """
+        )
+        assert findings == []
+
+    def test_scalar_constants_preserve_units(self):
+        findings = _lint(
+            """
+            _DAMPING = 0.5
+
+            def good(latency_ns, target_ns):
+                return _DAMPING * latency_ns + (1 - _DAMPING) * target_ns
+            """
+        )
+        assert findings == []
+
+    def test_conflicting_branch_tags_stay_silent(self):
+        # After a join where the two arms disagree, the analyzer must
+        # treat the value as unknown rather than pick a side.
+        findings = _lint(
+            """
+            def joined(flag, span_ns, span_seconds):
+                value = span_ns if flag else span_seconds
+                total = value + value
+                return total
+            """
+        )
+        # The IfExp itself mixes units (one finding); the later uses of
+        # the joined value must not cascade into more findings.
+        assert len(findings) == 1
+
+
+class TestSuppression:
+    def test_pragma_disables_the_finding(self):
+        findings = _lint(
+            """
+            def waived(traffic_bytes, elapsed_seconds):
+                return traffic_bytes + elapsed_seconds  # lint: disable=LINT010
+            """
+        )
+        assert findings == []
