@@ -98,7 +98,76 @@ def _cmd_experiment(args) -> int:
         forwarded.extend(["--out", args.out])
     if args.jobs != 1:
         forwarded.extend(["--jobs", str(args.jobs)])
+    if args.trace:
+        forwarded.extend(["--trace", args.trace])
+    if args.metrics:
+        forwarded.append("--metrics")
     return runner_main(forwarded)
+
+
+def _cmd_trace(args) -> int:
+    """Run one experiment under tracing and export the results."""
+    from pathlib import Path
+
+    from repro.experiments.runner import get_runner
+    from repro.obs import (
+        build_manifest,
+        metrics_table,
+        summary_table,
+        to_csv,
+        to_jsonl,
+        write_chrome_trace,
+    )
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.runtime import ObsSession
+    from repro.perf.timing import Stopwatch
+
+    try:
+        runner = get_runner(args.experiment)
+    except KeyError as exc:
+        print(f"pccs trace: {exc.args[0]}", file=sys.stderr)
+        return 2
+    watch = Stopwatch()
+    session = ObsSession(trace=True, metrics=True)
+    obs_runtime.activate(session)
+    try:
+        with session.tracer.span(
+            f"experiment:{args.experiment}",
+            start=session.harness_time(),
+            track="runner",
+            category="experiment",
+            clock="harness",
+        ) as span:
+            result = runner()
+            span.finish(session.harness_time())
+    finally:
+        obs_runtime.deactivate()
+    buffer = session.tracer.buffer
+    snapshot = session.metrics.snapshot()
+    manifest = build_manifest(
+        experiment=args.experiment,
+        config={"experiment": args.experiment},
+        wall_seconds=watch.elapsed(),
+    )
+    write_chrome_trace(
+        args.trace_out, buffer, manifest=manifest, metrics=snapshot
+    )
+    print(
+        f"trace: {len(buffer.spans)} span(s), {len(buffer.events)} "
+        f"event(s) -> {args.trace_out}"
+    )
+    if args.jsonl:
+        Path(args.jsonl).write_text(to_jsonl(buffer) + "\n")
+        print(f"trace: JSONL dump -> {args.jsonl}")
+    if args.events_csv:
+        Path(args.events_csv).write_text(to_csv(buffer) + "\n")
+        print(f"trace: CSV dump -> {args.events_csv}")
+    if args.report:
+        print(result.render())
+    if args.summary:
+        print(summary_table(buffer))
+        print(metrics_table(snapshot))
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -218,7 +287,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for experiments and sweeps (default: 1)",
     )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a Chrome trace-event JSON (needs --jobs 1)",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print simulator metrics (merged across jobs)",
+    )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing and export the trace",
+        description=(
+            "Runs one registered experiment under a tracing + metrics "
+            "session and writes a Chrome trace-event JSON (open in "
+            "Perfetto or about:tracing). Results are bit-identical to "
+            "an untraced run."
+        ),
+    )
+    p.add_argument("experiment", help="registered experiment name")
+    p.add_argument(
+        "--trace-out",
+        default="trace.json",
+        metavar="FILE",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="also dump every record as one JSON object per line",
+    )
+    p.add_argument(
+        "--events-csv",
+        metavar="FILE",
+        help="also dump every record as flat CSV",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="print the experiment's rendered report too",
+    )
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print per-track span totals and the metrics table",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "lint",

@@ -22,8 +22,35 @@ from repro.dram.request import Request
 from repro.dram.schedulers import make_scheduler
 from repro.dram.timing import DDR4_3200, DramTiming
 from repro.errors import SimulationError
+from repro.obs import runtime as obs_runtime
 
 _GEN, _SERVE, _COMPLETE = 0, 1, 2
+
+_NS_TO_S = 1e-9
+"""Trace records carry seconds; the DRAM timeline is nanoseconds."""
+
+#: Queueing-latency histogram edges (ns) for the session metrics
+#: registry; fixed so per-worker histograms merge bucket-wise.
+LATENCY_BUCKETS_NS = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0,
+                      3200.0, 6400.0)
+
+
+def _row_outcome(channel: ChannelState, request: Request) -> str:
+    """Classify an access against current bank state (no side effects).
+
+    ``hit`` — the row is open; ``miss`` — the bank is closed (first
+    activation); ``conflict`` — another row occupies the row buffer and
+    must be precharged first. ``channel.banks`` is probed without
+    materialising missing banks so tracing cannot perturb bank-state
+    creation order.
+    """
+    bank = channel.banks.get(request.bank)
+    open_row = bank.open_row if bank is not None else None
+    if open_row == request.row:
+        return "hit"
+    if open_row is None:
+        return "miss"
+    return "conflict"
 
 
 class BufferWaitQueue:
@@ -124,6 +151,12 @@ class CMPSystem:
         gives O(1) removal and indexed open-row lookup; ``list``
         restores the seed's linear-scan behaviour (kept for debugging
         and for the equivalence tests — results are bit-identical).
+    tracer:
+        Explicit tracer override; by default each :meth:`run` resolves
+        the active :mod:`repro.obs.runtime` session. Tracing records the
+        request lifecycle (enqueue → scheduler selection → row
+        hit/miss/conflict → completion) without perturbing results:
+        traced and untraced runs are bit-identical.
     """
 
     def __init__(
@@ -132,12 +165,14 @@ class CMPSystem:
         policy: str = "frfcfs",
         seed: int = 0,
         queue_factory: Callable[[], object] = ChannelQueue,
+        tracer=None,
     ):
         self.timing = timing
         self.policy_name = policy
         self.seed = seed
         self.queue_factory = queue_factory
         self.mapper = AddressMapper(timing)
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     def run(
@@ -177,6 +212,24 @@ class CMPSystem:
         must_finish = (
             set(stop_cores) if stop_cores is not None else set(range(len(cores)))
         )
+
+        # Observability: one session lookup per run; every emission in
+        # the event loop is guarded by a plain attribute check.
+        session = obs_runtime.active()
+        tracer = self._tracer if self._tracer is not None else session.tracer
+        trace_on = tracer.enabled
+        obs_metrics = session.metrics
+        metrics_on = obs_metrics.enabled
+        run_span = None
+        if trace_on:
+            run_span = tracer.span(
+                "dram.run",
+                start=0.0,
+                track=f"dram.{self.policy_name}",
+                category="dram",
+                policy=self.policy_name,
+                cores=len(cores),
+            )
 
         counter = itertools.count()
         events: List[Tuple[float, int, int, int]] = []
@@ -245,6 +298,18 @@ class CMPSystem:
                         is_write=is_write,
                     )
                     queues[decoded.channel].append(request)
+                    if trace_on:
+                        tracer.event(
+                            "req.enqueue",
+                            time=now * _NS_TO_S,
+                            track=f"dram.ch{decoded.channel}",
+                            category="dram",
+                            req_id=request.req_id,
+                            core=request.core,
+                            bank=request.bank,
+                            row=request.row,
+                            write=request.is_write,
+                        )
                     buffer_used += 1
                     state.issued += 1
                     if not is_write:
@@ -270,16 +335,58 @@ class CMPSystem:
                     continue
                 channel = channels[ch]
                 if channel.refresh_if_due(now):
+                    if trace_on:
+                        tracer.event(
+                            "refresh",
+                            time=now * _NS_TO_S,
+                            track=f"dram.ch{ch}",
+                            category="dram",
+                        )
+                    if metrics_on:
+                        obs_metrics.counter("dram.refreshes").inc()
                     wake_channel(ch, now)
                     continue
                 if now + 1e-12 < channel.bus_free_at:
                     wake_channel(ch, now)
                     continue
                 request = scheduler.select(queue, channel, now)
+                if trace_on or metrics_on:
+                    outcome = _row_outcome(channel, request)
                 queue.remove(request)
                 buffer_used -= 1
                 completion = channel.dispatch(request, now)
                 scheduler.on_dispatch(request, now)
+                if trace_on:
+                    tracer.event(
+                        "sched.select",
+                        time=now * _NS_TO_S,
+                        track=f"dram.ch{ch}",
+                        category="dram",
+                        policy=self.policy_name,
+                        req_id=request.req_id,
+                        queue_len=len(queue) + 1,
+                    )
+                    lifecycle = tracer.span(
+                        "req",
+                        start=request.arrival_ns * _NS_TO_S,
+                        track=f"dram.ch{ch}",
+                        category="dram",
+                        req_id=request.req_id,
+                        core=request.core,
+                        bank=request.bank,
+                        row=request.row,
+                        outcome=outcome,
+                        write=request.is_write,
+                        scheduled_ns=now,
+                    )
+                    lifecycle.finish(completion * _NS_TO_S)
+                    lifecycle.close()
+                if metrics_on:
+                    obs_metrics.counter("dram.requests").inc()
+                    obs_metrics.counter(f"dram.row_{outcome}").inc()
+                    obs_metrics.histogram(
+                        "dram.latency_ns", LATENCY_BUCKETS_NS
+                    ).observe(completion - request.arrival_ns)
                 metrics.record(
                     request.core,
                     bool(request.row_hit),
@@ -314,6 +421,11 @@ class CMPSystem:
                     push_gen(now, state.index)
 
         elapsed = now
+        if run_span is not None:
+            run_span.finish(elapsed * _NS_TO_S)
+            run_span.close()
+        if metrics_on:
+            obs_metrics.counter("dram.runs").inc()
         results = tuple(
             CoreResult(
                 index=s.index,

@@ -50,3 +50,7 @@ class AnalysisError(ReproError, ValueError):
 
 class LintError(ReproError):
     """The static-analysis pass was misused (unknown rule, bad path)."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused or an export failed validation."""

@@ -134,6 +134,23 @@ def main(argv=None) -> int:
             "identical to --jobs 1"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record a Chrome trace-event JSON of the simulations "
+            "(open in Perfetto / about:tracing); traced results are "
+            "bit-identical to untraced ones"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect simulator metrics (counters/histograms) and print "
+            "a summary table; merged across --jobs workers"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -142,6 +159,11 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.trace and args.jobs > 1:
+        parser.error(
+            "--trace requires --jobs 1 (trace buffers stay in-process; "
+            "--metrics works with any job count)"
+        )
     names = list(EXPERIMENTS) if args.all else args.names
     if not names:
         parser.print_help()
@@ -171,6 +193,7 @@ def main(argv=None) -> int:
                         name,
                         out_dir=str(out_dir) if out_dir else None,
                         csv=args.csv,
+                        metrics=args.metrics,
                     )
                     for name in names
                 ],
@@ -180,23 +203,79 @@ def main(argv=None) -> int:
                 print(f"==== {outcome.name} ({outcome.elapsed:.1f}s) ====")
                 print(outcome.report)
                 print()
+            if args.metrics:
+                from repro.obs import merge_snapshots, metrics_table
+
+                merged = merge_snapshots(
+                    [o.metrics_snapshot for o in outcomes]
+                )
+                print(metrics_table(merged))
             return 0
 
-        for name in names:
-            watch = Stopwatch()
-            result = get_runner(name)()
-            report = result.render()
-            banner = f"==== {name} ({watch.elapsed():.1f}s) ===="
-            print(banner)
-            print(report)
-            print()
-            if out_dir:
-                (out_dir / f"{name}.txt").write_text(report + "\n")
-                if args.csv:
-                    save_result_csvs(name, result, out_dir)
+        session = None
+        if args.trace or args.metrics:
+            from repro.obs import runtime as obs_runtime
+            from repro.obs.runtime import ObsSession
+
+            session = ObsSession(trace=bool(args.trace), metrics=args.metrics)
+            obs_runtime.activate(session)
+        try:
+            for name in names:
+                watch = Stopwatch()
+                span = None
+                if session is not None and session.tracer.enabled:
+                    span = session.tracer.span(
+                        f"experiment:{name}",
+                        start=session.harness_time(),
+                        track="runner",
+                        category="experiment",
+                        clock="harness",
+                    )
+                result = get_runner(name)()
+                if span is not None:
+                    span.finish(session.harness_time())
+                    span.close()
+                report = result.render()
+                banner = f"==== {name} ({watch.elapsed():.1f}s) ===="
+                print(banner)
+                print(report)
+                print()
+                if out_dir:
+                    (out_dir / f"{name}.txt").write_text(report + "\n")
+                    if args.csv:
+                        save_result_csvs(name, result, out_dir)
+        finally:
+            if session is not None:
+                from repro.obs import runtime as obs_runtime
+
+                obs_runtime.deactivate()
+        if session is not None:
+            _export_session(session, names, args)
         return 0
     finally:
         set_default_max_workers(previous_default)
+
+
+def _export_session(session, names, args) -> None:
+    """Write the trace file and/or print the metrics summary."""
+    from repro.obs import build_manifest, metrics_table, write_chrome_trace
+
+    snapshot = session.metrics.snapshot() if args.metrics else None
+    if args.trace:
+        manifest = build_manifest(
+            experiment="+".join(names),
+            config={"names": list(names), "jobs": args.jobs},
+            wall_seconds=session.harness_time(),
+        )
+        write_chrome_trace(
+            args.trace,
+            session.tracer.buffer,
+            manifest=manifest,
+            metrics=snapshot,
+        )
+        print(f"trace: wrote {args.trace}")
+    if args.metrics and snapshot is not None:
+        print(metrics_table(snapshot))
 
 
 if __name__ == "__main__":

@@ -16,6 +16,11 @@ Scenarios:
 - ``dram`` — a 2-core DRAM simulation through
   :class:`repro.dram.system.CMPSystem` with the SMS scheduler (the
   policy whose tie-break PR 1 had to fix).
+
+``--traced`` runs the same scenario under an active observability
+session (tracing + metrics on) while printing the *same* result
+payload, so a test can assert the zero-perturbation contract of
+:mod:`repro.obs`: traced and untraced outputs must be byte-identical.
 """
 
 from __future__ import annotations
@@ -68,16 +73,30 @@ def canonical_json(payload: Dict[str, Any]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def run_scenario(name: str) -> str:
+def run_scenario(name: str, traced: bool = False) -> str:
     if name == "soc":
-        return canonical_json(soc_scenario())
-    if name == "dram":
-        return canonical_json(dram_scenario())
-    from repro.errors import LintError
+        scenario = soc_scenario
+    elif name == "dram":
+        scenario = dram_scenario
+    else:
+        from repro.errors import LintError
 
-    raise LintError(
-        f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
-    )
+        raise LintError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    if not traced:
+        return canonical_json(scenario())
+    from repro.errors import LintError
+    from repro.obs import session as obs_session
+
+    with obs_session(trace=True, metrics=True) as sess:
+        payload = canonical_json(scenario())
+        if not len(sess.tracer.buffer):
+            raise LintError(
+                f"traced {name} scenario recorded nothing; the "
+                "instrumentation hooks are not firing"
+            )
+    return payload
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,8 +105,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="print a canonical JSON trace of a fixed simulation",
     )
     parser.add_argument("--scenario", choices=SCENARIOS, required=True)
+    parser.add_argument(
+        "--traced",
+        action="store_true",
+        help=(
+            "run under an active tracing+metrics session (output must "
+            "be byte-identical to the untraced run)"
+        ),
+    )
     args = parser.parse_args(argv)
-    print(run_scenario(args.scenario))
+    print(run_scenario(args.scenario, traced=args.traced))
     return 0
 
 

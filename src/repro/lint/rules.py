@@ -951,6 +951,69 @@ def _check_transitive_picklability(
 
 
 # ----------------------------------------------------------------------
+# LINT013 — print() in simulator/model code
+# ----------------------------------------------------------------------
+_PRINT_SCOPE_DIRS: Tuple[str, ...] = (
+    "repro/soc/",
+    "repro/dram/",
+    "repro/core/",
+)
+
+
+def _in_print_scope(ctx: FileContext) -> bool:
+    return any(fragment in ctx.norm_path for fragment in _PRINT_SCOPE_DIRS)
+
+
+def _check_model_print(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    """Model code must not write to stdout directly.
+
+    Ad-hoc ``print`` debugging in the simulators bypasses the
+    observability layer: it cannot be disabled, merged across workers,
+    or exported, and it corrupts rendered experiment reports. Emit
+    through :mod:`repro.obs` (tracer events / metrics) or return data
+    for the report layer instead. Shadowed names (a local ``print``
+    binding) are left alone — only the builtin is flagged.
+    """
+    if not _in_print_scope(ctx):
+        return []
+    shadowed = {
+        name.asname or name.name.split(".")[0]
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.Import, ast.ImportFrom))
+        for name in node.names
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            shadowed.update(arg.arg for arg in node.args.args)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    shadowed.add(target.id)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and "print" not in shadowed
+        ):
+            findings.append(
+                Finding(
+                    file=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="LINT013",
+                    message=(
+                        "print() in model code; emit a tracer event or "
+                        "metric (repro.obs) or return data for the "
+                        "report layer instead"
+                    ),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _RULES: Tuple[Rule, ...] = (
@@ -1003,6 +1066,11 @@ _RULES: Tuple[Rule, ...] = (
         "LINT012",
         "unpicklable values reaching perf jobs via helpers or globals",
         _check_transitive_picklability,
+    ),
+    Rule(
+        "LINT013",
+        "print() in soc/dram/core model code (use the obs layer)",
+        _check_model_print,
     ),
 )
 

@@ -1,0 +1,296 @@
+"""Trace and metrics exporters.
+
+Three output shapes:
+
+- :func:`to_chrome_trace` — the Chrome trace-event JSON object format
+  (loadable in Perfetto / ``about:tracing``): spans become complete
+  (``"ph": "X"``) events, events become instants (``"ph": "i"``), and
+  track names become thread-name metadata records. Sim-clock and
+  harness-clock records land on separate pid rows so the two timelines
+  never interleave.
+- :func:`to_jsonl` / :func:`to_csv` — flat per-record dumps for ad-hoc
+  grep/pandas analysis.
+- :func:`summary_table` / :func:`metrics_table` — terminal summaries on
+  the existing :class:`repro.analysis.tables.TextTable` machinery.
+
+:func:`validate_chrome_trace` is the schema gate used by the golden
+test and the CI ``obs`` step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.tables import TextTable, fmt
+from repro.errors import ObsError
+from repro.obs.events import Event, HARNESS_CLOCK, SIM_CLOCK, Span, TraceBuffer
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsSnapshot
+
+_CLOCK_PIDS = {SIM_CLOCK: 1, HARNESS_CLOCK: 2}
+_CLOCK_LABELS = {SIM_CLOCK: "simulated time", HARNESS_CLOCK: "harness"}
+_US_PER_SECOND = 1e6
+
+
+def _record_sort_key(record: Union[Event, Span]) -> Tuple:
+    time = record.time if isinstance(record, Event) else record.start
+    kind = 1 if isinstance(record, Event) else 0
+    return (record.clock, record.track, time, kind, record.name)
+
+
+def _track_ids(buffer: TraceBuffer) -> Dict[Tuple[str, str], int]:
+    """Deterministic (clock, track) -> tid assignment, sorted by name."""
+    keys = sorted(
+        {(r.clock, r.track) for r in buffer.spans}
+        | {(r.clock, r.track) for r in buffer.events}
+    )
+    return {key: index + 1 for index, key in enumerate(keys)}
+
+
+def to_chrome_trace(
+    buffer: TraceBuffer,
+    manifest: Optional[RunManifest] = None,
+    metrics: Optional[MetricsSnapshot] = None,
+) -> Dict[str, object]:
+    """Render a trace buffer as a Chrome trace-event JSON object."""
+    tids = _track_ids(buffer)
+    trace_events: List[Dict[str, object]] = []
+    for (clock, track), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _CLOCK_PIDS.get(clock, 0),
+                "tid": tid,
+                "args": {"name": f"{track} ({_CLOCK_LABELS.get(clock, clock)})"},
+            }
+        )
+    records: List[Union[Event, Span]] = list(buffer.spans) + list(buffer.events)
+    for record in sorted(records, key=_record_sort_key):
+        entry: Dict[str, object] = {
+            "name": record.name,
+            "cat": record.category,
+            "pid": _CLOCK_PIDS.get(record.clock, 0),
+            "tid": tids[(record.clock, record.track)],
+            "args": dict(record.args),
+        }
+        if isinstance(record, Span):
+            entry["ph"] = "X"
+            entry["ts"] = record.start * _US_PER_SECOND
+            entry["dur"] = max(record.duration, 0.0) * _US_PER_SECOND
+        else:
+            entry["ph"] = "i"
+            entry["ts"] = record.time * _US_PER_SECOND
+            entry["s"] = "t"
+        trace_events.append(entry)
+    other: Dict[str, object] = {}
+    if manifest is not None:
+        other["manifest"] = json.loads(manifest.to_json())
+    if metrics is not None:
+        other["metrics"] = {
+            "counters": dict(metrics.counters),
+            "gauges": dict(metrics.gauges),
+            "histograms": {
+                name: {
+                    "buckets": list(edges),
+                    "counts": list(counts),
+                    "sum": total,
+                }
+                for name, edges, counts, total in metrics.histograms
+            },
+        }
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    buffer: TraceBuffer,
+    manifest: Optional[RunManifest] = None,
+    metrics: Optional[MetricsSnapshot] = None,
+) -> None:
+    """Serialize :func:`to_chrome_trace` to a file."""
+    payload = to_chrome_trace(buffer, manifest=manifest, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+_PHASES = frozenset({"X", "i", "M"})
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Structural checks on an exported trace; returns problem strings.
+
+    An empty list means the payload satisfies the schema the repo's
+    golden test and CI gate rely on. Kept hand-rolled (no jsonschema
+    dependency exists in this environment).
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("traceEvents must be a list")
+        events = []
+    if "displayTimeUnit" in payload and payload["displayTimeUnit"] not in (
+        "ms",
+        "ns",
+    ):
+        problems.append("displayTimeUnit must be 'ms' or 'ns'")
+    for index, entry in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = entry.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: ph must be one of {sorted(_PHASES)}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in entry:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(entry.get("args", {}), dict):
+            problems.append(f"{where}: args must be an object")
+        if ph == "M":
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+        if ph == "i" and entry.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope 's' must be t/p/g")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Flat dumps
+# ----------------------------------------------------------------------
+def _flat_records(buffer: TraceBuffer) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    records: List[Union[Event, Span]] = list(buffer.spans) + list(buffer.events)
+    for record in sorted(records, key=_record_sort_key):
+        if isinstance(record, Span):
+            rows.append(
+                {
+                    "kind": "span",
+                    "name": record.name,
+                    "category": record.category,
+                    "clock": record.clock,
+                    "track": record.track,
+                    "start": record.start,
+                    "end": record.end,
+                    "depth": record.depth,
+                    "args": dict(record.args),
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "kind": "event",
+                    "name": record.name,
+                    "category": record.category,
+                    "clock": record.clock,
+                    "track": record.track,
+                    "time": record.time,
+                    "args": dict(record.args),
+                }
+            )
+    return rows
+
+
+def to_jsonl(buffer: TraceBuffer) -> str:
+    """One JSON object per record, time-sorted within each track."""
+    return "\n".join(
+        json.dumps(row, sort_keys=True) for row in _flat_records(buffer)
+    )
+
+
+def to_csv(buffer: TraceBuffer) -> str:
+    """Flat CSV: one row per record, args JSON-encoded in one column."""
+    header = "kind,name,category,clock,track,start,end,args"
+    lines = [header]
+    for row in _flat_records(buffer):
+        start = row["start"] if row["kind"] == "span" else row["time"]
+        end = row["end"] if row["kind"] == "span" else row["time"]
+        args = json.dumps(row["args"], sort_keys=True).replace('"', '""')
+        lines.append(
+            f'{row["kind"]},{row["name"]},{row["category"]},{row["clock"]},'
+            f'{row["track"]},{start},{end},"{args}"'
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Terminal summaries
+# ----------------------------------------------------------------------
+def summary_table(buffer: TraceBuffer) -> str:
+    """Per-(track, span-name) aggregate durations as a text table."""
+    totals: Dict[Tuple[str, str, str], Tuple[int, float]] = {}
+    for span in buffer.spans:
+        key = (span.clock, span.track, span.name)
+        count, total = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, total + span.duration)
+    events: Dict[Tuple[str, str, str], Tuple[int, float]] = {}
+    for event in buffer.events:
+        key = (event.clock, event.track, event.name)
+        count, total = events.get(key, (0, 0.0))
+        events[key] = (count + 1, total)
+    table = TextTable(
+        ["clock", "track", "name", "kind", "count", "total (s)"],
+        title="trace summary",
+    )
+    for key in sorted(totals):
+        count, total = totals[key]
+        table.add_row([key[0], key[1], key[2], "span", count, fmt(total, 6)])
+    for key in sorted(events):
+        count, _ = events[key]
+        table.add_row([key[0], key[1], key[2], "event", count, "-"])
+    return table.render()
+
+
+def metrics_table(snapshot: MetricsSnapshot) -> str:
+    """Registry snapshot as a text table (deterministic order)."""
+    table = TextTable(["metric", "kind", "value"], title="metrics")
+    for name, value in snapshot.counters:
+        table.add_row([name, "counter", fmt(value, 0)])
+    for name, value in snapshot.gauges:
+        table.add_row([name, "gauge", fmt(value, 3)])
+    for name, edges, counts, total in snapshot.histograms:
+        observations = sum(counts)
+        mean = total / observations if observations else 0.0
+        table.add_row(
+            [name, "histogram", f"n={observations} mean={fmt(mean, 3)}"]
+        )
+    return table.render()
+
+
+def ensure_valid_chrome_trace(payload: object) -> None:
+    """Raise :class:`ObsError` listing every schema violation found."""
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ObsError(
+            "invalid Chrome trace: " + "; ".join(problems[:10])
+        )
+
+
+__all__ = [
+    "ensure_valid_chrome_trace",
+    "metrics_table",
+    "summary_table",
+    "to_chrome_trace",
+    "to_csv",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,206 @@
+"""Structured tracing API with zero-overhead-when-disabled semantics.
+
+The contract instrumented code relies on:
+
+- every hot-path emission is guarded by ``tracer.enabled`` — a plain
+  attribute read, so a disabled tracer costs one ``if`` per candidate
+  emission and allocates nothing;
+- tracing never mutates simulator state: a :class:`Tracer` only appends
+  to its own :class:`~repro.obs.events.TraceBuffer`, so traced and
+  untraced runs are bit-identical by construction (and asserted by the
+  determinism harness);
+- record times are supplied by the *caller* in the caller's simulated
+  clock (converted to seconds at the emit site) — the tracer never
+  reads a clock of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ObsError
+from repro.obs.events import (
+    ArgValue,
+    Event,
+    SIM_CLOCK,
+    Span,
+    TraceBuffer,
+    freeze_args,
+)
+
+
+class ActiveSpan:
+    """Handle for an in-progress span; closed by its tracer.
+
+    Supports the context-manager protocol: the ``with`` body must call
+    :meth:`finish` with the closing sim-time before exit (the tracer
+    has no clock to infer it from); an unfinished span closes with zero
+    duration at its start time.
+    """
+
+    __slots__ = ("_tracer", "name", "start", "track", "category", "clock",
+                 "depth", "_args", "_end", "_closed")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        start: float,
+        track: str,
+        category: str,
+        clock: str,
+        depth: int,
+        args: Mapping[str, ArgValue],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.start = start
+        self.track = track
+        self.category = category
+        self.clock = clock
+        self.depth = depth
+        self._args: Dict[str, ArgValue] = dict(args)
+        self._end: Optional[float] = None
+        self._closed = False
+
+    def note(self, **args: ArgValue) -> None:
+        """Attach or update payload entries on the span."""
+        self._args.update(args)
+
+    def finish(self, end: float) -> None:
+        """Record the closing time (idempotent; last call wins)."""
+        self._end = end
+
+    def close(self) -> None:
+        """Seal the span into its tracer's buffer (outside ``with``)."""
+        self._tracer._close(self)
+
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._close(self)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is a class attribute read, so the hot-path guard
+    ``if tracer.enabled:`` compiles to one attribute lookup and a
+    falsy branch — the whole cost of having tracing compiled in.
+    """
+
+    enabled = False
+
+    def event(self, name: str, time: float, track: str, **kwargs: object) -> None:
+        """Discard the event."""
+
+    def span(self, name: str, start: float, track: str, **kwargs: object) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def _close(self, span: "ActiveSpan") -> None:  # pragma: no cover - defensive
+        pass
+
+
+class _NullSpan:
+    """Context-manager stub returned by :class:`NullTracer.span`."""
+
+    __slots__ = ()
+
+    def note(self, **args: object) -> None:
+        pass
+
+    def finish(self, end: float) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared disabled tracer; engines default to this singleton.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collecting tracer: appends events and spans to a buffer."""
+
+    enabled = True
+
+    def __init__(self, buffer: Optional[TraceBuffer] = None) -> None:
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+        self._depth: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        name: str,
+        time: float,
+        track: str,
+        category: str = "event",
+        clock: str = SIM_CLOCK,
+        **args: ArgValue,
+    ) -> None:
+        """Record one instantaneous event."""
+        self.buffer.events.append(
+            Event(
+                name=name,
+                time=time,
+                track=track,
+                category=category,
+                args=freeze_args(args),
+                clock=clock,
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        start: float,
+        track: str,
+        category: str = "span",
+        clock: str = SIM_CLOCK,
+        **args: ArgValue,
+    ) -> ActiveSpan:
+        """Open a span; use as a context manager and ``finish(end)`` it.
+
+        Nesting depth is tracked per-track so exporters can reconstruct
+        the span stack even in formats without begin/end pairing.
+        """
+        depth = self._depth.get(track, 0)
+        self._depth[track] = depth + 1
+        return ActiveSpan(
+            self, name, start, track, category, clock, depth, args
+        )
+
+    # ------------------------------------------------------------------
+    def _close(self, span: ActiveSpan) -> None:
+        if span._closed:
+            raise ObsError(f"span {span.name!r} closed twice")
+        span._closed = True
+        depth = self._depth.get(span.track, 0)
+        if depth > 0:
+            self._depth[span.track] = depth - 1
+        end = span._end if span._end is not None else span.start
+        self.buffer.spans.append(
+            Span(
+                name=span.name,
+                start=span.start,
+                end=end,
+                track=span.track,
+                category=span.category,
+                args=freeze_args(span._args),
+                clock=span.clock,
+                depth=span.depth,
+            )
+        )
+
+
+__all__ = ["ActiveSpan", "NULL_TRACER", "NullTracer", "Tracer"]

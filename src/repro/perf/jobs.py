@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.metrics import MetricsSnapshot
 from repro.perf.timing import Stopwatch
 from repro.workloads.kernel import KernelSpec
 
@@ -40,12 +41,19 @@ class PressureSweepJob:
 
 @dataclass(frozen=True)
 class ExperimentOutcome:
-    """What an :class:`ExperimentJob` sends back to the coordinator."""
+    """What an :class:`ExperimentJob` sends back to the coordinator.
+
+    ``metrics_snapshot`` is a plain-tuple value object
+    (:class:`repro.obs.metrics.MetricsSnapshot`), so the outcome stays
+    picklable (LINT012) and the coordinator can fold snapshots from any
+    number of workers with :func:`repro.obs.metrics.merge_snapshots`.
+    """
 
     name: str
     report: str
     elapsed: float
     csv_count: int = 0
+    metrics_snapshot: Optional[MetricsSnapshot] = None
 
 
 @dataclass(frozen=True)
@@ -53,12 +61,16 @@ class ExperimentJob:
     """Run one registered experiment end to end (render + optional save).
 
     Output files are written by the worker itself so the coordinator
-    only ships a rendered report string back across the pipe.
+    only ships a rendered report string back across the pipe. With
+    ``metrics=True`` the worker activates its own observability session
+    (metrics only — trace buffers are too heavy to ship) and returns
+    the registry snapshot in the outcome.
     """
 
     name: str
     out_dir: Optional[str] = None
     csv: bool = False
+    metrics: bool = False
 
     def run(self) -> ExperimentOutcome:
         from pathlib import Path
@@ -70,7 +82,20 @@ class ExperimentJob:
         # (the forked child inherits the parent's --jobs default).
         set_default_max_workers(1)
         watch = Stopwatch()
-        result = get_runner(self.name)()
+        snapshot: Optional[MetricsSnapshot] = None
+        if self.metrics:
+            from repro.obs import runtime as obs_runtime
+            from repro.obs.runtime import ObsSession
+
+            session = ObsSession(trace=False, metrics=True)
+            obs_runtime.activate(session)
+            try:
+                result = get_runner(self.name)()
+            finally:
+                obs_runtime.deactivate()
+            snapshot = session.metrics.snapshot()
+        else:
+            result = get_runner(self.name)()
         report = result.render()
         elapsed = watch.stop()
         csv_count = 0
@@ -81,5 +106,9 @@ class ExperimentJob:
             if self.csv:
                 csv_count = save_result_csvs(self.name, result, out_dir)
         return ExperimentOutcome(
-            name=self.name, report=report, elapsed=elapsed, csv_count=csv_count
+            name=self.name,
+            report=report,
+            elapsed=elapsed,
+            csv_count=csv_count,
+            metrics_snapshot=snapshot,
         )

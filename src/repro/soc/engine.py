@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 from repro.soc.memsys import SharedMemorySystem, StreamDemand, StreamGrant
 from repro.soc.pu import (
     StandaloneProfile,
@@ -26,12 +28,32 @@ from repro.workloads.kernel import KernelSpec
 _MIN_RATE = 1e-12
 
 
-@dataclass
 class ResolveCacheStats:
-    """Hit/miss counters of the engine's steady-state resolve cache."""
+    """Live view of the engine's steady-state resolve-cache counters.
 
-    hits: int = 0
-    misses: int = 0
+    Backed by the engine's :class:`repro.obs.metrics.MetricsRegistry`
+    rather than ad-hoc integers, so the counters export uniformly with
+    every other metric and — unlike a cache-entry count — survive
+    :meth:`CoRunEngine.clear_resolve_cache` (clears are themselves
+    counted). Counters are cumulative over the engine's lifetime.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._hits = registry.counter("soc.resolve_cache.hits")
+        self._misses = registry.counter("soc.resolve_cache.misses")
+        self._clears = registry.counter("soc.resolve_cache.clears")
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def clears(self) -> int:
+        return int(self._clears.value)
 
     @property
     def calls(self) -> int:
@@ -177,7 +199,13 @@ class CoRunEngine:
         signatures. Disable (``False``) to force a fresh fixed-point
         solve per event step when debugging the memory model; results
         are bit-identical either way. Statistics are exposed via
-        :attr:`resolve_stats`.
+        :attr:`resolve_stats` (a view over :attr:`metrics`).
+    tracer:
+        Explicit tracer override. By default each :meth:`corun` call
+        resolves the active :mod:`repro.obs.runtime` session's tracer,
+        so cached engines pick up tracing sessions activated after they
+        were built. Tracing never changes results: traced and untraced
+        runs are bit-identical (asserted by the determinism harness).
     """
 
     def __init__(
@@ -185,6 +213,7 @@ class CoRunEngine:
         soc: SoCSpec,
         memory_system=None,
         resolve_cache: bool = True,
+        tracer=None,
     ):
         self.soc = soc
         self.memory = (
@@ -196,7 +225,9 @@ class CoRunEngine:
         self._resolve_cache: Optional[
             Dict[Tuple[StreamDemand, ...], Tuple[StreamGrant, ...]]
         ] = {} if resolve_cache else None
-        self.resolve_stats = ResolveCacheStats()
+        self.metrics = MetricsRegistry()
+        self.resolve_stats = ResolveCacheStats(self.metrics)
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Standalone
@@ -222,9 +253,16 @@ class CoRunEngine:
     # Steady-state resolve cache
     # ------------------------------------------------------------------
     def clear_resolve_cache(self) -> None:
-        """Drop memoised steady states (counters are kept)."""
+        """Drop memoised steady states.
+
+        Hit/miss counters are cumulative and deliberately survive the
+        clear (it is recorded in ``soc.resolve_cache.clears``), so a
+        sweep that clears between configurations still reports its true
+        lifetime hit rate.
+        """
         if self._resolve_cache is not None:
             self._resolve_cache.clear()
+            self.resolve_stats._clears.inc()
 
     def _resolve(
         self, streams: List[StreamDemand]
@@ -242,10 +280,97 @@ class CoRunEngine:
         if grants is None:
             grants = tuple(self.memory.resolve(streams))
             self._resolve_cache[key] = grants
-            self.resolve_stats.misses += 1
+            self.resolve_stats._misses.inc()
         else:
-            self.resolve_stats.hits += 1
+            self.resolve_stats._hits.inc()
         return grants
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (only reached when a tracer is enabled)
+    # ------------------------------------------------------------------
+    def _trace_epoch(
+        self,
+        tracer,
+        soc_track: str,
+        now: float,
+        dt: float,
+        step: int,
+        runnable: List[str],
+        grants: Tuple[StreamGrant, ...],
+        misses_before: int,
+    ) -> None:
+        """Emit one epoch span plus per-PU arbitration events."""
+        epoch = tracer.span(
+            "epoch",
+            start=now,
+            track=soc_track,
+            category="soc",
+            step=step,
+            active=len(runnable),
+            resolve_hit=self.resolve_stats.misses == misses_before,
+        )
+        epoch.finish(now + dt)
+        epoch.close()
+        for name, grant in zip(runnable, grants):
+            # The fairness decision of this epoch: a capped stream was
+            # held below its demand by the allocator's max-min filling.
+            tracer.event(
+                "grant",
+                time=now,
+                track=f"pu.{name}",
+                category="soc",
+                demand=grant.demand,
+                granted=grant.granted,
+                capped=grant.granted + _MIN_RATE < grant.demand,
+                latency_ns=grant.latency_ns,
+            )
+
+    @staticmethod
+    def _trace_transitions(
+        tracer,
+        now: float,
+        runnable: List[str],
+        states: Dict[str, "_StreamState"],
+        before: Dict[str, Tuple[int, int, bool]],
+    ) -> int:
+        """Emit phase-transition/finish events; returns the count.
+
+        ``tracer`` may be ``None`` (metrics-only session): transitions
+        are still counted, nothing is emitted.
+        """
+        transitions = 0
+        for name in runnable:
+            state = states[name]
+            prev_phase, prev_loops, was_finished = before[name]
+            changed = (
+                state.phase_index != prev_phase
+                or state.loops_done != prev_loops
+            )
+            just_finished = state.finished and not was_finished
+            if not changed and not just_finished:
+                continue
+            if changed:
+                transitions += 1
+            if tracer is None:
+                continue
+            if just_finished:
+                tracer.event(
+                    "kernel.finished",
+                    time=now,
+                    track=f"pu.{name}",
+                    category="soc",
+                    kernel=state.profile.kernel_name,
+                )
+            elif changed:
+                tracer.event(
+                    "phase.transition",
+                    time=now,
+                    track=f"pu.{name}",
+                    category="soc",
+                    phase=state.phase_index,
+                    loops_done=state.loops_done,
+                )
+        return transitions
 
     # ------------------------------------------------------------------
     # Co-run
@@ -303,6 +428,30 @@ class CoRunEngine:
             for name, kernel in placements.items()
         }
         order = list(placements)
+
+        # Observability: resolved once per corun (not per step), so the
+        # disabled path costs one lookup here and an `if` per emission.
+        session = obs_runtime.active()
+        tracer = self._tracer if self._tracer is not None else session.tracer
+        trace_on = tracer.enabled
+        metrics_on = session.metrics.enabled
+        observing = trace_on or metrics_on
+        soc_track = f"soc.{self.soc.name}"
+        steps = 0
+        phase_transitions = 0
+        hits_before = self.resolve_stats.hits
+        misses_before = self.resolve_stats.misses
+        corun_span = None
+        if trace_on:
+            corun_span = tracer.span(
+                "corun",
+                start=0.0,
+                track=soc_track,
+                category="soc",
+                pus=",".join(order),
+                until=until,
+            )
+
         now = 0.0
         timeline = []
         while now < max_seconds:
@@ -318,6 +467,8 @@ class CoRunEngine:
                 )
                 for n in runnable
             ]
+            if trace_on:
+                step_misses = self.resolve_stats.misses
             grants = self._resolve(streams)
             rates = {
                 n: max(g.granted, _MIN_RATE) for n, g in zip(runnable, grants)
@@ -333,14 +484,49 @@ class CoRunEngine:
                 states[n].bytes_left / 1e9 / rates[n] for n in runnable
             )
             dt = min(dt, max_seconds - now)
+            if trace_on:
+                self._trace_epoch(
+                    tracer, soc_track, now, dt, steps, runnable,
+                    grants, step_misses,
+                )
+            if observing:
+                before = {
+                    n: (
+                        states[n].phase_index,
+                        states[n].loops_done,
+                        states[n].finished,
+                    )
+                    for n in runnable
+                }
             now += dt
+            steps += 1
             for n in runnable:
                 states[n].advance(rates[n] * 1e9 * dt, now)
+            if observing:
+                phase_transitions += self._trace_transitions(
+                    tracer if trace_on else None, now, runnable, states, before
+                )
             done_victims = [v for v in victims if states[v].finished]
             if until == "first" and done_victims:
                 break
             if until == "all" and len(done_victims) == len(victims):
                 break
+
+        if corun_span is not None:
+            corun_span.note(steps=steps)
+            corun_span.finish(now)
+            corun_span.close()
+        if metrics_on:
+            metrics = session.metrics
+            metrics.counter("soc.coruns").inc()
+            metrics.counter("soc.epochs").inc(steps)
+            metrics.counter("soc.phase_transitions").inc(phase_transitions)
+            metrics.counter("soc.resolve_cache.hits").inc(
+                self.resolve_stats.hits - hits_before
+            )
+            metrics.counter("soc.resolve_cache.misses").inc(
+                self.resolve_stats.misses - misses_before
+            )
 
         outcomes = []
         for name in order:

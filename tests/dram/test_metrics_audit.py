@@ -1,0 +1,96 @@
+"""Audit: DRAM counters must agree with the traced request lifecycle.
+
+Property-style cross-check over policies and load points: the counts
+:class:`repro.dram.metrics.DramMetrics` accumulates while simulating
+(row-hit rate, dispatch totals) must match what an independent observer
+— the obs layer's per-request lifecycle spans and session counters —
+saw of the same run. A drift between the two means either the metrics
+or the instrumentation misclassified an access.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.dram.system import CMPSystem, LATENCY_BUCKETS_NS
+from repro.obs import runtime as obs_runtime
+
+CASES = [
+    ("fcfs", 8.0, 1),
+    ("frfcfs", 16.0, 1),
+    ("atlas", 12.0, 2),
+    ("tcm", 20.0, 3),
+    ("sms", 24.0, 1),
+]
+
+
+def _observed_run(policy: str, demand_gbps: float, seed: int):
+    with obs_runtime.session(trace=True, metrics=True) as sess:
+        system = CMPSystem(policy=policy, seed=seed)
+        cores = system.group_configs(
+            group_demand_gbps=demand_gbps, n_cores=2, requests_per_core=200
+        )
+        result = system.run(cores)
+        snapshot = sess.metrics.snapshot()
+        buffer = sess.tracer.buffer
+    return result, snapshot, buffer
+
+
+@pytest.mark.parametrize("policy,demand,seed", CASES)
+def test_counters_agree_with_traced_events(policy, demand, seed):
+    result, snapshot, buffer = _observed_run(policy, demand, seed)
+    req_spans = [s for s in buffer.spans if s.name == "req"]
+    outcomes = TallyCounter(dict(s.args)["outcome"] for s in req_spans)
+    dispatched = len(req_spans)
+    assert dispatched > 0
+
+    # Session counters vs the trace: every lifecycle span was counted
+    # exactly once, under its row outcome.
+    assert snapshot.counter_value("dram.requests") == dispatched
+    for outcome in ("hit", "miss", "conflict"):
+        assert snapshot.counter_value(f"dram.row_{outcome}") == (
+            outcomes.get(outcome, 0)
+        )
+
+    # DramMetrics vs the trace: the simulator's row-hit rate is the
+    # traced hit fraction (miss and conflict both count as non-hits).
+    assert result.row_hit_rate == outcomes.get("hit", 0) / dispatched
+
+    # Latency histogram: one observation per dispatch, and the mean
+    # reproduces the simulator's mean queue latency.
+    histograms = {name: (edges, counts, total)
+                  for name, edges, counts, total in snapshot.histograms}
+    edges, counts, total = histograms["dram.latency_ns"]
+    assert edges == LATENCY_BUCKETS_NS
+    assert sum(counts) == dispatched
+    assert result.mean_latency_ns == pytest.approx(total / dispatched)
+
+    # Lifecycle spans measure arrival -> completion in seconds; their
+    # summed duration must equal the histogram's summed ns latencies.
+    span_latency_ns = sum(s.duration for s in req_spans) * 1e9
+    assert span_latency_ns == pytest.approx(total)
+
+    # Every dispatch completed exactly one request.
+    assert sum(core.completed for core in result.cores) == dispatched
+
+
+@pytest.mark.parametrize("policy,demand,seed", CASES[:2])
+def test_enqueue_and_select_pair_with_lifecycles(policy, demand, seed):
+    result, _, buffer = _observed_run(policy, demand, seed)
+    enqueues = [e for e in buffer.events if e.name == "req.enqueue"]
+    selects = [e for e in buffer.events if e.name == "sched.select"]
+    req_spans = [s for s in buffer.spans if s.name == "req"]
+    assert len(enqueues) == sum(core.issued for core in result.cores)
+    assert len(selects) == len(req_spans)
+    # Scheduler decisions and lifecycles reference the same requests.
+    assert {dict(e.args)["req_id"] for e in selects} == {
+        dict(s.args)["req_id"] for s in req_spans
+    }
+    # Each traced request was enqueued before (or when) it was scheduled.
+    scheduled = {dict(s.args)["req_id"]: dict(s.args)["scheduled_ns"]
+                 for s in req_spans}
+    arrivals = {dict(e.args)["req_id"]: e.time * 1e9 for e in enqueues}
+    for req_id, sched_ns in scheduled.items():
+        assert arrivals[req_id] <= sched_ns + 1e-6

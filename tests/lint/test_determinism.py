@@ -21,12 +21,19 @@ import repro
 SRC_ROOT = str(Path(repro.__file__).parent.parent)
 
 
-def run_scenario(scenario: str, hash_seed: str) -> bytes:
+def run_scenario(
+    scenario: str, hash_seed: str, traced: bool = False
+) -> bytes:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
     env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro.lint.determinism", "--scenario", scenario,
+    ]
+    if traced:
+        command.append("--traced")
     result = subprocess.run(
-        [sys.executable, "-m", "repro.lint.determinism", "--scenario", scenario],
+        command,
         capture_output=True,
         env=env,
         timeout=300,
@@ -43,6 +50,16 @@ def test_hashseed_invariance(scenario):
         assert run_scenario(scenario, seed) == baseline, (
             f"{scenario} scenario diverged under PYTHONHASHSEED={seed}"
         )
+
+
+@pytest.mark.parametrize("scenario", ["soc", "dram"])
+def test_traced_runs_are_bit_identical(scenario):
+    """The repro.obs zero-perturbation contract, asserted end to end."""
+    baseline = run_scenario(scenario, "0")
+    traced = run_scenario(scenario, "0", traced=True)
+    assert traced == baseline, (
+        f"{scenario} scenario output changed when tracing was enabled"
+    )
 
 
 def test_scenarios_are_nontrivial():

@@ -434,6 +434,77 @@ class TestLint007BareRaises:
         assert rule_ids(src) == []
 
 
+class TestLint013ModelPrint:
+    def test_positive_print_in_scheduler(self):
+        src = """
+        def select(queue):
+            print(len(queue))
+            return queue[0]
+        """
+        assert rule_ids(src, SCHED_PATH) == ["LINT013"]
+
+    def test_positive_print_in_core_model(self):
+        src = """
+        def solve(streams):
+            print("debug", streams)
+        """
+        assert rule_ids(src, MODEL_PATH) == ["LINT013"]
+
+    def test_positive_each_call_flagged(self):
+        src = """
+        def debug(a, b):
+            print(a)
+            print(b)
+        """
+        assert rule_ids(src, MODEL_PATH) == ["LINT013", "LINT013"]
+
+    def test_negative_outside_model_scope(self):
+        src = """
+        def report(rows):
+            print(rows)
+        """
+        assert rule_ids(src, PERF_PATH) == []
+        assert rule_ids(src, "src/repro/analysis/fake.py") == []
+
+    def test_negative_shadowed_by_parameter(self):
+        src = """
+        def render(print):
+            print("routed through an injected sink")
+        """
+        assert rule_ids(src, MODEL_PATH) == []
+
+    def test_negative_shadowed_by_assignment(self):
+        src = """
+        def render(sink):
+            print = sink
+            print("routed")
+        """
+        assert rule_ids(src, MODEL_PATH) == []
+
+    def test_negative_shadowed_by_import(self):
+        src = """
+        from mysinks import emit as print
+
+        def render(x):
+            print(x)
+        """
+        assert rule_ids(src, MODEL_PATH) == []
+
+    def test_negative_attribute_named_print(self):
+        src = """
+        def render(console, x):
+            console.print(x)
+        """
+        assert rule_ids(src, MODEL_PATH) == []
+
+    def test_suppression_pragma(self):
+        src = """
+        def debug(x):
+            print(x)  # lint: disable=LINT013
+        """
+        assert rule_ids(src, MODEL_PATH) == []
+
+
 class TestSuppressionMechanics:
     def test_standalone_pragma_covers_next_code_line(self):
         src = """

@@ -1,0 +1,93 @@
+"""The zero-perturbation contract: tracing must not change results.
+
+Runs one SoC co-run and one DRAM simulation twice — untraced, then
+under a full trace+metrics session — and requires the result payloads
+to be identical down to canonical-JSON bytes. The traced runs must
+also actually record something, so a silently-unhooked tracer cannot
+pass as "no perturbation".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.dram.system import CMPSystem
+from repro.obs import runtime as obs_runtime
+from repro.soc.configs import soc_by_name
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import single_phase_kernel
+
+
+def _canonical(result) -> str:
+    return json.dumps(dataclasses.asdict(result), indent=2, sort_keys=True)
+
+
+def _soc_run():
+    engine = CoRunEngine(soc_by_name("xavier-agx"))
+    victim = single_phase_kernel("obs-victim", 2.0, traffic_gb=0.5)
+    pressure = single_phase_kernel("obs-pressure", 0.5, traffic_gb=0.5)
+    return engine.corun(
+        {"gpu": victim, "cpu": pressure},
+        looping=("cpu",),
+        until="first",
+        record_timeline=True,
+    )
+
+
+def _dram_run():
+    system = CMPSystem(policy="sms", seed=1)
+    cores = system.group_configs(
+        group_demand_gbps=24.0, n_cores=2, requests_per_core=300
+    )
+    return system.run(cores)
+
+
+class TestBitIdentity:
+    def test_soc_corun_identical_when_traced(self):
+        untraced = _canonical(_soc_run())
+        with obs_runtime.session(trace=True, metrics=True) as sess:
+            traced = _canonical(_soc_run())
+            assert len(sess.tracer.buffer) > 0, "SoC hooks did not fire"
+        assert traced == untraced
+
+    def test_dram_run_identical_when_traced(self):
+        untraced = _canonical(_dram_run())
+        with obs_runtime.session(trace=True, metrics=True) as sess:
+            traced = _canonical(_dram_run())
+            assert len(sess.tracer.buffer) > 0, "DRAM hooks did not fire"
+        assert traced == untraced
+
+    def test_metrics_only_session_is_also_invisible(self):
+        untraced = _canonical(_dram_run())
+        with obs_runtime.session(trace=False, metrics=True) as sess:
+            observed = _canonical(_dram_run())
+            assert sess.metrics.snapshot().counter_value("dram.requests") > 0
+        assert observed == untraced
+
+
+class TestTracedContentShape:
+    def test_soc_trace_carries_epoch_spans_and_grants(self):
+        with obs_runtime.session(trace=True) as sess:
+            _soc_run()
+            spans = {s.name for s in sess.tracer.buffer.spans}
+            events = {e.name for e in sess.tracer.buffer.events}
+        assert "corun" in spans
+        assert "epoch" in spans
+        assert "grant" in events
+        assert "kernel.finished" in events
+
+    def test_dram_trace_carries_request_lifecycle(self):
+        with obs_runtime.session(trace=True) as sess:
+            result = _dram_run()
+            buffer = sess.tracer.buffer
+        req_spans = [s for s in buffer.spans if s.name == "req"]
+        enqueues = [e for e in buffer.events if e.name == "req.enqueue"]
+        selects = [e for e in buffer.events if e.name == "sched.select"]
+        issued = sum(core.issued for core in result.cores)
+        assert len(enqueues) == issued
+        assert len(req_spans) == len(selects)
+        outcomes = {dict(s.args)["outcome"] for s in req_spans}
+        assert outcomes <= {"hit", "miss", "conflict"}
+        for span in req_spans[:10]:
+            assert span.end >= span.start  # completion after arrival

@@ -1,0 +1,177 @@
+"""Exporters: Chrome trace golden/schema tests, flat dumps, tables."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.events import HARNESS_CLOCK
+from repro.obs.export import (
+    ensure_valid_chrome_trace,
+    metrics_table,
+    summary_table,
+    to_chrome_trace,
+    to_csv,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def sample_tracer() -> Tracer:
+    """A small fixed buffer spanning both clock domains."""
+    tracer = Tracer()
+    with tracer.span("corun", start=0.0, track="soc.x", category="soc",
+                     soc="x") as span:
+        tracer.event("grant", time=0.5, track="soc.x", category="soc",
+                     pu="gpu", value=1.5)
+        span.finish(2.0)
+    with tracer.span("experiment:fig6", start=0.0, track="runner",
+                     category="experiment", clock=HARNESS_CLOCK) as span:
+        span.finish(0.25)
+    return tracer
+
+
+#: Exact expected rendering of :func:`sample_tracer`'s buffer. Harness
+#: records live on pid 2; track names sort deterministically into tids;
+#: seconds become microseconds.
+GOLDEN_TRACE_EVENTS = [
+    {"name": "thread_name", "ph": "M", "pid": 2, "tid": 1,
+     "args": {"name": "runner (harness)"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2,
+     "args": {"name": "soc.x (simulated time)"}},
+    {"name": "experiment:fig6", "cat": "experiment", "pid": 2, "tid": 1,
+     "args": {}, "ph": "X", "ts": 0.0, "dur": 250000.0},
+    {"name": "corun", "cat": "soc", "pid": 1, "tid": 2,
+     "args": {"soc": "x"}, "ph": "X", "ts": 0.0, "dur": 2000000.0},
+    {"name": "grant", "cat": "soc", "pid": 1, "tid": 2,
+     "args": {"pu": "gpu", "value": 1.5}, "ph": "i", "ts": 500000.0,
+     "s": "t"},
+]
+
+
+class TestChromeTraceGolden:
+    def test_payload_matches_golden(self):
+        payload = to_chrome_trace(sample_tracer().buffer)
+        assert payload == {
+            "traceEvents": GOLDEN_TRACE_EVENTS,
+            "displayTimeUnit": "ms",
+            "otherData": {},
+        }
+
+    def test_golden_payload_is_schema_valid(self):
+        assert validate_chrome_trace(to_chrome_trace(sample_tracer().buffer)) == []
+
+    def test_manifest_and_metrics_land_in_other_data(self):
+        registry = MetricsRegistry()
+        registry.counter("soc.coruns").inc(3)
+        registry.histogram("lat", (1.0,)).observe(0.5)
+        payload = to_chrome_trace(
+            sample_tracer().buffer,
+            manifest=build_manifest("fig6", config={"k": 1}, seed=7),
+            metrics=registry.snapshot(),
+        )
+        other = payload["otherData"]
+        assert other["manifest"]["experiment"] == "fig6"
+        assert other["manifest"]["seed"] == 7
+        assert other["metrics"]["counters"] == {"soc.coruns": 3.0}
+        assert other["metrics"]["histograms"]["lat"]["counts"] == [1, 0]
+        assert validate_chrome_trace(payload) == []
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), sample_tracer().buffer)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"] == GOLDEN_TRACE_EVENTS
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestSchemaValidation:
+    def test_top_level_must_be_object(self):
+        assert validate_chrome_trace([]) == ["top level must be an object"]
+
+    def test_trace_events_must_be_list(self):
+        assert validate_chrome_trace({"traceEvents": {}}) == [
+            "traceEvents must be a list"
+        ]
+
+    def test_bad_phase_flagged(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1, "tid": 1}]}
+        )
+        assert any("ph must be one of" in p for p in problems)
+
+    def test_missing_tid_flagged(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "ts": 0.0,
+                              "s": "t"}]}
+        )
+        assert any("missing 'tid'" in p for p in problems)
+
+    def test_negative_ts_and_dur_flagged(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                              "ts": -1.0, "dur": -2.0}]}
+        )
+        assert len([p for p in problems if "non-negative" in p]) == 2
+
+    def test_bad_instant_scope_flagged(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "tid": 1,
+                              "ts": 0.0, "s": "q"}]}
+        )
+        assert any("instant scope" in p for p in problems)
+
+    def test_bad_display_unit_flagged(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [], "displayTimeUnit": "parsecs"}
+        )
+        assert problems == ["displayTimeUnit must be 'ms' or 'ns'"]
+
+    def test_ensure_raises_with_problem_list(self):
+        with pytest.raises(ObsError):
+            ensure_valid_chrome_trace([])
+        ensure_valid_chrome_trace(to_chrome_trace(sample_tracer().buffer))
+
+
+class TestFlatDumps:
+    def test_jsonl_one_record_per_line(self):
+        lines = to_jsonl(sample_tracer().buffer).splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert len(rows) == 3
+        assert [r["kind"] for r in rows] == ["span", "span", "event"]
+        assert rows[0]["clock"] == "harness"  # deterministic sort order
+        assert rows[2] == {
+            "kind": "event", "name": "grant", "category": "soc",
+            "clock": "sim", "track": "soc.x", "time": 0.5,
+            "args": {"pu": "gpu", "value": 1.5},
+        }
+
+    def test_csv_has_header_and_quoted_args(self):
+        lines = to_csv(sample_tracer().buffer).splitlines()
+        assert lines[0] == "kind,name,category,clock,track,start,end,args"
+        assert len(lines) == 4
+        assert lines[2].startswith("span,corun,soc,sim,soc.x,0.0,2.0,")
+        assert '""soc"": ""x""' in lines[2]
+
+
+class TestTables:
+    def test_summary_table_aggregates_spans_and_events(self):
+        text = summary_table(sample_tracer().buffer)
+        assert "corun" in text
+        assert "grant" in text
+        assert "span" in text and "event" in text
+
+    def test_metrics_table_lists_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        text = metrics_table(registry.snapshot())
+        for fragment in ("counter", "gauge", "histogram", "n=1"):
+            assert fragment in text

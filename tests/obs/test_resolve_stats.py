@@ -1,0 +1,64 @@
+"""Resolve-cache counters: registry-backed, clear-surviving, exported."""
+
+from __future__ import annotations
+
+from repro.soc.configs import soc_by_name
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import single_phase_kernel
+
+
+def _engine() -> CoRunEngine:
+    return CoRunEngine(soc_by_name("xavier-agx"))
+
+
+def _corun(engine: CoRunEngine) -> None:
+    victim = single_phase_kernel("rs-victim", 2.0, traffic_gb=0.5)
+    pressure = single_phase_kernel("rs-pressure", 0.5, traffic_gb=0.5)
+    engine.corun({"gpu": victim, "cpu": pressure}, until="all")
+
+
+class TestResolveCacheStats:
+    def test_counters_survive_clear(self):
+        engine = _engine()
+        _corun(engine)
+        misses = engine.resolve_stats.misses
+        assert misses > 0
+        engine.clear_resolve_cache()
+        # Cumulative lifetime counters: the clear is recorded, nothing
+        # is reset.
+        assert engine.resolve_stats.misses == misses
+        assert engine.resolve_stats.clears == 1
+        _corun(engine)
+        assert engine.resolve_stats.misses == 2 * misses
+
+    def test_hit_rate_accumulates_across_clears(self):
+        engine = _engine()
+        _corun(engine)
+        _corun(engine)  # steady states memoised: all hits
+        assert engine.resolve_stats.hits > 0
+        rate_before = engine.resolve_stats.hit_rate
+        engine.clear_resolve_cache()
+        assert engine.resolve_stats.hit_rate == rate_before
+
+    def test_exposed_through_engine_metrics_registry(self):
+        engine = _engine()
+        _corun(engine)
+        engine.clear_resolve_cache()
+        snapshot = engine.metrics.snapshot()
+        assert snapshot.counter_value("soc.resolve_cache.misses") == (
+            engine.resolve_stats.misses
+        )
+        assert snapshot.counter_value("soc.resolve_cache.hits") == (
+            engine.resolve_stats.hits
+        )
+        assert snapshot.counter_value("soc.resolve_cache.clears") == 1.0
+
+    def test_calls_and_hit_rate_consistency(self):
+        engine = _engine()
+        _corun(engine)
+        stats = engine.resolve_stats
+        assert stats.calls == stats.hits + stats.misses
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert CoRunEngine(
+            soc_by_name("xavier-agx")
+        ).resolve_stats.hit_rate == 0.0

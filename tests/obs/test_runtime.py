@@ -1,0 +1,75 @@
+"""Session stack: activation, nesting, and the inert default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import runtime
+from repro.obs.runtime import ObsSession
+from repro.obs.tracer import Tracer
+
+
+class TestDefaultSession:
+    def test_active_with_no_session_is_inert(self):
+        session = runtime.active()
+        assert session.tracer.enabled is False
+        assert session.metrics.enabled is False
+        assert session.enabled is False
+
+    def test_deactivate_without_active_session_raises(self):
+        with pytest.raises(ObsError):
+            runtime.deactivate()
+
+
+class TestActivation:
+    def test_session_context_manager_activates_and_restores(self):
+        before = runtime.active()
+        with runtime.session(trace=True, metrics=True) as sess:
+            assert runtime.active() is sess
+            assert sess.tracer.enabled and sess.metrics.enabled
+            assert sess.enabled
+        assert runtime.active() is before
+
+    def test_sessions_nest_innermost_wins(self):
+        with runtime.session(metrics=True) as outer:
+            with runtime.session(trace=True) as inner:
+                assert runtime.active() is inner
+            assert runtime.active() is outer
+
+    def test_deactivate_restores_on_exception(self):
+        before = runtime.active()
+        with pytest.raises(RuntimeError):
+            with runtime.session(trace=True):
+                raise RuntimeError("boom")
+        assert runtime.active() is before
+
+    def test_partial_session_flags(self):
+        with runtime.session(trace=True, metrics=False) as sess:
+            assert sess.tracer.enabled is True
+            assert sess.metrics.enabled is False
+        with runtime.session(trace=False, metrics=True) as sess:
+            assert sess.tracer.enabled is False
+            assert sess.metrics.enabled is True
+
+
+class TestTracerResolution:
+    def test_explicit_tracer_wins(self):
+        mine = Tracer()
+        with runtime.session(trace=True):
+            assert runtime.tracer_for(mine) is mine
+
+    def test_falls_back_to_active_session(self):
+        with runtime.session(trace=True) as sess:
+            assert runtime.tracer_for(None) is sess.tracer
+
+    def test_falls_back_to_null_when_idle(self):
+        assert runtime.tracer_for(None).enabled is False
+
+
+class TestHarnessClock:
+    def test_harness_time_is_monotonic_session_relative(self):
+        session = ObsSession()
+        first = session.harness_time()
+        second = session.harness_time()
+        assert 0.0 <= first <= second

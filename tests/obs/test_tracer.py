@@ -1,0 +1,125 @@
+"""Tracer semantics: null no-ops, span nesting, argument freezing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.events import HARNESS_CLOCK, SIM_CLOCK, freeze_args
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_flag_is_class_attribute(self):
+        # The hot-path guard reads the class attribute — no instance
+        # dict lookup, no property call.
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_event_is_a_noop(self):
+        assert NULL_TRACER.event("x", time=1.0, track="t", a=1) is None
+
+    def test_span_returns_shared_inert_handle(self):
+        first = NULL_TRACER.span("x", start=0.0, track="t")
+        second = NULL_TRACER.span("y", start=1.0, track="u")
+        assert first is second  # one preallocated stub, zero garbage
+
+    def test_null_span_supports_full_protocol(self):
+        with NULL_TRACER.span("x", start=0.0, track="t") as span:
+            span.note(k=1)
+            span.finish(2.0)
+        # close() outside ``with`` is also inert.
+        NULL_TRACER.span("x", start=0.0, track="t").close()
+
+    def test_null_tracer_owns_no_buffer(self):
+        assert not hasattr(NULL_TRACER, "buffer")
+
+
+class TestTracerEvents:
+    def test_event_recorded_with_frozen_args(self):
+        tracer = Tracer()
+        tracer.event("grant", time=0.5, track="pu.gpu", category="soc",
+                     demand=2.0, pu="gpu")
+        (event,) = tracer.buffer.events
+        assert event.name == "grant"
+        assert event.time == 0.5
+        assert event.track == "pu.gpu"
+        assert event.category == "soc"
+        assert event.clock == SIM_CLOCK
+        # args are sorted tuples — deterministic regardless of kwargs order.
+        assert event.args == (("demand", 2.0), ("pu", "gpu"))
+
+    def test_freeze_args_sorts_by_key(self):
+        assert freeze_args({"z": 1, "a": 2}) == (("a", 2), ("z", 1))
+
+    def test_harness_clock_events(self):
+        tracer = Tracer()
+        tracer.event("tick", time=0.1, track="runner", clock=HARNESS_CLOCK)
+        assert tracer.buffer.events[0].clock == HARNESS_CLOCK
+
+
+class TestSpanNesting:
+    def test_depth_increases_per_track(self):
+        tracer = Tracer()
+        with tracer.span("outer", start=0.0, track="a") as outer:
+            with tracer.span("inner", start=1.0, track="a") as inner:
+                inner.finish(2.0)
+            outer.finish(3.0)
+        inner_rec, outer_rec = tracer.buffer.spans  # closed inner-first
+        assert inner_rec.name == "inner" and inner_rec.depth == 1
+        assert outer_rec.name == "outer" and outer_rec.depth == 0
+
+    def test_depth_is_independent_across_tracks(self):
+        tracer = Tracer()
+        a = tracer.span("a", start=0.0, track="one")
+        b = tracer.span("b", start=0.0, track="two")
+        assert a.depth == 0
+        assert b.depth == 0
+        b.close()
+        a.close()
+
+    def test_depth_releases_after_close(self):
+        tracer = Tracer()
+        with tracer.span("first", start=0.0, track="t"):
+            pass
+        second = tracer.span("second", start=1.0, track="t")
+        assert second.depth == 0
+        second.close()
+
+    def test_double_close_raises(self):
+        tracer = Tracer()
+        span = tracer.span("once", start=0.0, track="t")
+        span.close()
+        with pytest.raises(ObsError):
+            span.close()
+
+    def test_unfinished_span_closes_with_zero_duration(self):
+        tracer = Tracer()
+        with tracer.span("open", start=3.5, track="t"):
+            pass
+        (record,) = tracer.buffer.spans
+        assert record.start == 3.5
+        assert record.end == 3.5
+        assert record.duration == 0.0
+
+    def test_finish_is_last_call_wins(self):
+        tracer = Tracer()
+        with tracer.span("s", start=0.0, track="t") as span:
+            span.finish(1.0)
+            span.finish(2.0)
+        assert tracer.buffer.spans[0].end == 2.0
+
+    def test_note_merges_into_span_args(self):
+        tracer = Tracer()
+        with tracer.span("s", start=0.0, track="t", fixed=1) as span:
+            span.note(late=2)
+            span.note(fixed=3)  # update wins
+            span.finish(1.0)
+        assert tracer.buffer.spans[0].args == (("fixed", 3), ("late", 2))
+
+    def test_buffer_len_counts_events_and_spans(self):
+        tracer = Tracer()
+        tracer.event("e", time=0.0, track="t")
+        with tracer.span("s", start=0.0, track="t") as span:
+            span.finish(1.0)
+        assert len(tracer.buffer) == 2
