@@ -4,15 +4,40 @@ Every benchmark regenerates one paper artifact at full scale, times it
 with pytest-benchmark, prints the rendered report and saves it under
 ``benchmarks/results/`` (EXPERIMENTS.md records the paper-vs-measured
 comparison from those files).
+
+Each report is saved twice: the rendered text as ``<name>.txt`` (the
+historical format, unchanged) and a machine-readable ``<name>.json``
+with at least ``{"name", "seconds", "speedup", "baseline"}``.
+``seconds`` is lifted from the test's pytest-benchmark fixture when it
+used one; benches that time themselves pass ``seconds=`` (and any extra
+fields) explicitly.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _benchmark_seconds(request) -> Optional[float]:
+    """Mean runtime from the test's ``benchmark`` fixture, if it had one.
+
+    Reads ``request.node.funcargs`` rather than ``getfixturevalue`` so a
+    test that never asked for the fixture doesn't get one instantiated.
+    Returns ``None`` when the fixture is absent, disabled, or not yet run.
+    """
+    fixture = getattr(request.node, "funcargs", {}).get("benchmark")
+    if fixture is None:
+        return None
+    try:
+        return float(fixture.stats.stats.mean)
+    except (AttributeError, TypeError):
+        return None
 
 
 @pytest.fixture(scope="session")
@@ -22,9 +47,22 @@ def report_dir() -> Path:
 
 
 @pytest.fixture()
-def save_report(report_dir):
-    def _save(name: str, text: str) -> None:
+def save_report(report_dir, request):
+    def _save(name: str, text: str, **fields) -> None:
         (report_dir / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+        record = {
+            "name": name,
+            "seconds": _benchmark_seconds(request),
+            "speedup": None,
+            "baseline": None,
+        }
+        record.update(fields)
+        (report_dir / f"{name}.json").write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"\n{text}\n[saved to benchmarks/results/{name}"
+            + "{.txt,.json}]"
+        )
 
     return _save

@@ -98,6 +98,8 @@ def _cmd_experiment(args) -> int:
         forwarded.extend(["--out", args.out])
     if args.jobs != 1:
         forwarded.extend(["--jobs", str(args.jobs)])
+    if args.sim_cache:
+        forwarded.append(f"--sim-cache={args.sim_cache}")
     if args.trace:
         forwarded.extend(["--trace", args.trace])
     if args.metrics:
@@ -286,6 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for experiments and sweeps (default: 1)",
+    )
+    p.add_argument(
+        "--sim-cache",
+        nargs="?",
+        const=".sim-cache",
+        default=None,
+        metavar="DIR",
+        dest="sim_cache",
+        help=(
+            "memoize simulation results on disk (content-addressed; "
+            "warm re-runs are bit-identical and near-instant; "
+            "default DIR: .sim-cache)"
+        ),
     )
     p.add_argument(
         "--trace",

@@ -23,6 +23,22 @@ class SimulationError(ReproError):
     """A simulator reached an invalid internal state."""
 
 
+class JobFailedError(SimulationError):
+    """A :func:`repro.perf.parallel_map` job raised.
+
+    Carries the failing job's index and label so a sweep of hundreds of
+    jobs reports *which* one died; the worker pool survives the failure.
+    ``__cause__`` holds the original exception on the serial path; on
+    the process-pool path the original traceback text is embedded in
+    the message instead (exceptions do not always pickle).
+    """
+
+    def __init__(self, message: str, index: int, label: str) -> None:
+        super().__init__(message)
+        self.index = index
+        self.label = label
+
+
 class WorkloadError(ReproError):
     """A workload definition is malformed or references an unknown kernel."""
 

@@ -154,6 +154,7 @@ def run_validation(
             for kernel in kernels
         ],
         max_workers=jobs,
+        labels=[f"{figure}:{name}" for name in names],
     )
     out = []
     for name, kernel, sweep in zip(names, kernels, sweeps):

@@ -135,6 +135,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--sim-cache",
+        nargs="?",
+        const=".sim-cache",
+        default=None,
+        metavar="DIR",
+        dest="sim_cache",
+        help=(
+            "memoize simulation results on disk, keyed by content "
+            "(job inputs + SoC spec + code fingerprint); a warm re-run "
+            "skips the simulations entirely and is bit-identical to a "
+            "cold one (default DIR: .sim-cache)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help=(
@@ -177,14 +191,20 @@ def main(argv=None) -> int:
     from repro.perf import (
         ExperimentJob,
         Stopwatch,
+        activate_sim_cache,
         default_max_workers,
         parallel_map,
         set_default_max_workers,
+        set_sim_cache,
     )
+    from repro.perf.simcache import active_sim_cache
 
     # Sweeps inside a single experiment pick this default up.
     previous_default = default_max_workers()
     set_default_max_workers(args.jobs)
+    previous_cache = active_sim_cache()
+    if args.sim_cache:
+        activate_sim_cache(args.sim_cache)
     try:
         if args.jobs > 1 and len(names) > 1:
             outcomes = parallel_map(
@@ -194,6 +214,7 @@ def main(argv=None) -> int:
                         out_dir=str(out_dir) if out_dir else None,
                         csv=args.csv,
                         metrics=args.metrics,
+                        sim_cache_dir=args.sim_cache,
                     )
                     for name in names
                 ],
@@ -254,6 +275,10 @@ def main(argv=None) -> int:
         return 0
     finally:
         set_default_max_workers(previous_default)
+        cache = active_sim_cache()
+        if args.sim_cache and cache is not None:
+            print(cache.stats_line(), file=sys.stderr)
+        set_sim_cache(previous_cache)
 
 
 def _export_session(session, names, args) -> None:

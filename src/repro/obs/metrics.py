@@ -204,6 +204,27 @@ class MetricsRegistry:
             ),
         )
 
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this live registry.
+
+        The in-place dual of :meth:`MetricsSnapshot.merge`, with the
+        same semantics (counters and histogram buckets add, gauges keep
+        the maximum). The persistent worker pool uses it to ship
+        per-chunk snapshots back into the coordinator's session, so
+        counters under the pool path equal the serial path exactly.
+        """
+        for name, value in snapshot.counters:
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges:
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, edges, counts, total_sum in snapshot.histograms:
+            hist = self.histogram(name, edges)
+            for i, count in enumerate(counts):
+                hist.counts[i] += count
+            hist.total += sum(counts)
+            hist.sum += total_sum
+
 
 class NullMetricsRegistry:
     """Disabled registry: instruments accept writes and drop them."""
@@ -221,6 +242,9 @@ class NullMetricsRegistry:
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot()
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        pass
 
 
 class _NullCounter(Counter):

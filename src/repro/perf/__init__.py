@@ -3,9 +3,16 @@
 Public surface:
 
 - :func:`parallel_map` — order-preserving process-parallel job map with
-  a serial fallback (``max_workers <= 1``);
+  a serial fallback (``max_workers <= 1``), persistent-pool dispatch
+  and transparent simulation-cache lookup;
 - :func:`set_default_max_workers` / :func:`default_max_workers` — the
   process-global ``--jobs`` default experiments consult;
+- :mod:`repro.perf.pool` — the persistent warm worker pool
+  (:func:`shutdown_pool`, :func:`pool_size`, :func:`pool_generation`);
+- :mod:`repro.perf.simcache` — the content-addressed simulation result
+  cache behind ``--sim-cache`` (:class:`SimCache`,
+  :func:`activate_sim_cache`, :func:`active_sim_cache`,
+  :func:`set_sim_cache`);
 - :class:`PressureSweepJob` / :class:`ExperimentJob` — the standard
   picklable jobs fanned out by the sweeps and the experiment runner;
 - :func:`wall_clock_seconds` / :class:`Stopwatch` — the sanctioned
@@ -16,18 +23,40 @@ Public surface:
 from repro.perf.executor import (
     Job,
     default_max_workers,
+    job_label,
     parallel_map,
     set_default_max_workers,
 )
 from repro.perf.jobs import ExperimentJob, ExperimentOutcome, PressureSweepJob
+from repro.perf.pool import (
+    configure_warm_socs,
+    pool_generation,
+    pool_size,
+    shutdown_pool,
+)
+from repro.perf.simcache import (
+    SimCache,
+    activate_sim_cache,
+    active_sim_cache,
+    set_sim_cache,
+)
 from repro.perf.timing import Stopwatch, wall_clock_seconds
 
 __all__ = [
     "Job",
+    "SimCache",
     "Stopwatch",
+    "activate_sim_cache",
+    "active_sim_cache",
+    "configure_warm_socs",
     "default_max_workers",
+    "job_label",
     "parallel_map",
+    "pool_generation",
+    "pool_size",
     "set_default_max_workers",
+    "set_sim_cache",
+    "shutdown_pool",
     "wall_clock_seconds",
     "ExperimentJob",
     "ExperimentOutcome",

@@ -9,14 +9,26 @@ preserves input order and falls back to plain in-process execution for
 code on byte-identical inputs — the simulations are pure, deterministic
 float math, and the results do not depend on which process computed
 them.
+
+Two subsystems cooperate underneath (both invisible in the results):
+
+- the **persistent warm worker pool** (:mod:`repro.perf.pool`): one
+  process-global pool reused across every ``parallel_map`` call, with
+  chunked order-preserving submission and per-job failure attribution;
+- the **content-addressed simulation cache**
+  (:mod:`repro.perf.simcache`): when a cache is active, jobs that
+  declare a ``signature()`` are looked up before dispatch and stored
+  after, so byte-identical re-runs skip the simulations entirely.
+
+Failures raise :class:`repro.errors.JobFailedError` carrying the job's
+index and label on both the serial and the pool path.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Protocol, TypeVar, runtime_checkable
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
 
-from repro.errors import SimulationError
+from repro.errors import JobFailedError, SimulationError
 
 T = TypeVar("T")
 
@@ -48,25 +60,89 @@ def default_max_workers() -> int:
     return _DEFAULT_MAX_WORKERS
 
 
-def _run_job(job: Job) -> object:
-    return job.run()
+def job_label(job: Job, index: int) -> str:
+    """Human-readable identity of a job in error messages and reports."""
+    method = getattr(job, "describe", None)
+    if method is not None:
+        return str(method())
+    return f"{type(job).__name__}#{index}"
+
+
+def _run_serial(job: Job, index: int, label: str) -> object:
+    try:
+        return job.run()
+    except JobFailedError:
+        raise  # a nested parallel_map already attributed the failure
+    except Exception as exc:
+        raise JobFailedError(
+            f"job {index} ({label}) failed with "
+            f"{type(exc).__name__}: {exc}",
+            index=index,
+            label=label,
+        ) from exc
 
 
 def parallel_map(
-    jobs: Iterable[Job], max_workers: Optional[int] = None
+    jobs: Iterable[Job],
+    max_workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
 ) -> List[object]:
     """Run every job and return their results in input order.
 
-    ``max_workers <= 1`` (or a single job) executes serially in this
+    ``max_workers <= 1`` (or a single job to compute) executes in this
     process — the fallback used by default and under nested
-    parallelism. Otherwise the jobs are distributed over a
-    ``ProcessPoolExecutor``; worker exceptions propagate to the caller.
+    parallelism. Otherwise the jobs are distributed over the persistent
+    warm pool (:mod:`repro.perf.pool`). When a simulation cache is
+    active (:func:`repro.perf.simcache.active_sim_cache`), cacheable
+    jobs are served from disk and only the misses are executed; results
+    are bit-identical on every path. A failing job raises
+    :class:`~repro.errors.JobFailedError` naming its index and label.
     """
+    from repro.perf.simcache import active_sim_cache
+
     job_list = list(jobs)
     if max_workers is None:
         max_workers = default_max_workers()
-    if max_workers <= 1 or len(job_list) <= 1:
-        return [job.run() for job in job_list]
-    workers = min(max_workers, len(job_list))
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(_run_job, job_list))
+    if labels is not None and len(labels) != len(job_list):
+        raise SimulationError(
+            f"labels/jobs length mismatch: {len(labels)} != {len(job_list)}"
+        )
+    label_of = {
+        i: (labels[i] if labels is not None else job_label(job, i))
+        for i, job in enumerate(job_list)
+    }
+
+    results: Dict[int, object] = {}
+    keys: Dict[int, str] = {}
+    cache = active_sim_cache()
+    if cache is not None:
+        for i, job in enumerate(job_list):
+            key = cache.key_for(job)
+            if key is None:
+                continue
+            keys[i] = key
+            found, value = cache.lookup(key)
+            if found:
+                results[i] = value
+
+    pending = [i for i in range(len(job_list)) if i not in results]
+    if pending:
+        if max_workers <= 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = _run_serial(job_list[i], i, label_of[i])
+        else:
+            from repro.perf.pool import map_on_pool
+
+            results.update(
+                map_on_pool(
+                    [(i, job_list[i]) for i in pending],
+                    label_of,
+                    max_workers,
+                )
+            )
+        if cache is not None:
+            for i in pending:
+                key = keys.get(i)
+                if key is not None:
+                    cache.store(key, results[i])
+    return [results[i] for i in range(len(job_list))]

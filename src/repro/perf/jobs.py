@@ -4,6 +4,15 @@ Jobs carry only cheap, immutable descriptions (SoC names, kernel specs,
 experiment names); each worker process rebuilds the heavy state (engines,
 calibrated models) from the same deterministic constructors the serial
 path uses, so results are bit-identical regardless of where a job ran.
+
+Jobs participate in two optional protocols:
+
+- ``describe()`` — a short human-readable label used in progress and
+  failure messages (:class:`repro.errors.JobFailedError`);
+- ``signature()`` — a canonical string over the job's *full* inputs
+  (value objects, not just names), opting the job into the
+  content-addressed simulation cache (:mod:`repro.perf.simcache`).
+  Jobs with side effects or undeclared inputs return ``None``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,33 @@ class PressureSweepJob:
     pu_name: str
     levels: Tuple[float, ...]
     pressure_pu: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"sweep:{self.soc_name}/{self.pu_name}/{self.kernel.name}"
+
+    def signature(self) -> str:
+        """Canonical content signature for the simulation cache.
+
+        Hashes the *resolved* SoC specification (``repr`` of the frozen
+        spec dataclasses — PU constants, memory geometry, MC behaviour)
+        rather than the SoC's name, so editing a built-in config
+        invalidates exactly the entries it should. Float ``repr`` is
+        round-trip exact, which makes the string canonical.
+        """
+        from repro.soc.configs import soc_by_name
+
+        spec = soc_by_name(self.soc_name)
+        return repr(
+            (
+                "pressure_sweep.v1",
+                self.soc_name,
+                repr(spec),
+                repr(self.kernel),
+                self.pu_name,
+                tuple(self.levels),
+                self.pressure_pu,
+            )
+        )
 
     def run(self):
         from repro.experiments.common import engine_for
@@ -61,26 +97,39 @@ class ExperimentJob:
     """Run one registered experiment end to end (render + optional save).
 
     Output files are written by the worker itself so the coordinator
-    only ships a rendered report string back across the pipe. With
-    ``metrics=True`` the worker activates its own observability session
-    (metrics only — trace buffers are too heavy to ship) and returns
-    the registry snapshot in the outcome.
+    only ships a rendered report string back across the pipe — which is
+    also why the job has no ``signature()``: it is not side-effect
+    free, so it is never cached as a unit. Instead ``sim_cache_dir``
+    re-activates the coordinator's simulation cache inside the worker,
+    and the experiment's internal sweeps are cached at the
+    :class:`PressureSweepJob` granularity (shared across experiments).
+
+    With ``metrics=True`` the worker activates its own observability
+    session (metrics only — trace buffers are too heavy to ship) and
+    returns the registry snapshot in the outcome.
     """
 
     name: str
     out_dir: Optional[str] = None
     csv: bool = False
     metrics: bool = False
+    sim_cache_dir: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"experiment:{self.name}"
 
     def run(self) -> ExperimentOutcome:
         from pathlib import Path
 
         from repro.experiments.runner import get_runner, save_result_csvs
         from repro.perf.executor import set_default_max_workers
+        from repro.perf.simcache import activate_sim_cache
 
         # This job is the unit of parallelism: never fork a nested pool
         # (the forked child inherits the parent's --jobs default).
         set_default_max_workers(1)
+        if self.sim_cache_dir is not None:
+            activate_sim_cache(self.sim_cache_dir)
         watch = Stopwatch()
         snapshot: Optional[MetricsSnapshot] = None
         if self.metrics:

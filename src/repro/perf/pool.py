@@ -1,0 +1,300 @@
+"""Persistent warm worker pool for :func:`repro.perf.parallel_map`.
+
+PR 1's executor paid a cold ``ProcessPoolExecutor`` spawn for every
+``parallel_map`` call and threw the workers (and every engine/profile
+cache they had built) away afterwards. This module keeps one
+process-global pool alive for the whole run:
+
+- **lazily created, atexit-managed** — the pool spins up on the first
+  parallel call and is torn down at interpreter exit (or explicitly via
+  :func:`shutdown_pool`); consecutive sweeps reuse the same warm
+  workers;
+- **warm workers** — the pool initializer pins the worker's own
+  ``--jobs`` default to 1 (no nested pools) and seeds the shared engine
+  registry (:func:`repro.experiments.common.engine_for`) for the
+  built-in SoCs, so standalone profiles and steady-state resolve caches
+  accumulate across every job a worker ever runs instead of being
+  rebuilt from zero per call;
+- **chunked, order-preserving submission** — jobs are grouped into
+  adaptively sized chunks (fewer pickles and IPC round trips than one
+  future per job) and results are reassembled in input order;
+- **per-job failure capture** — a worker wraps each job individually
+  and ships back the failing job's index, label, and traceback text;
+  the coordinator cancels outstanding chunks and raises
+  :class:`repro.errors.JobFailedError` without orphaning the pool;
+- **exact metrics** — when the coordinator has an active metrics
+  session, each chunk runs under a worker-side session and returns a
+  :class:`repro.obs.metrics.MetricsSnapshot` that the coordinator
+  absorbs, so ``repro.obs`` counters match the serial path exactly.
+
+Results are bit-identical to the serial path by contract: jobs are
+pure, deterministic float math and do not depend on which process (or
+how warm a process) computed them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import JobFailedError, SimulationError
+from repro.obs.metrics import MetricsSnapshot
+
+#: SoC names whose engines the pool initializer pre-seeds in every
+#: worker. Construction is cheap; the payoff is that the shared
+#: registry exists before the first job, so profiles and resolve-cache
+#: entries persist for the worker's whole lifetime.
+DEFAULT_WARM_SOCS: Tuple[str, ...] = ("xavier-agx", "snapdragon-855")
+
+#: Target chunks per worker: small enough to amortise IPC, large enough
+#: to keep every worker busy when job costs are uneven.
+_CHUNKS_PER_WORKER = 4
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_PID = -1
+_POOL_GENERATION = 0
+_WARM_SOCS: Tuple[str, ...] = DEFAULT_WARM_SOCS
+
+
+@dataclass(frozen=True)
+class _JobFailure:
+    """Picklable description of one failed job, shipped coordinator-side."""
+
+    index: int
+    label: str
+    exc_type: str
+    message: str
+    traceback_text: str
+
+
+@dataclass(frozen=True)
+class _ChunkOutcome:
+    """What one worker chunk sends back: results, first failure, metrics."""
+
+    results: Tuple[Tuple[int, object], ...]
+    failure: Optional[_JobFailure]
+    snapshot: Optional[MetricsSnapshot]
+
+
+def _warm_worker(warm_socs: Tuple[str, ...]) -> None:
+    """Pool initializer: run once in every worker process."""
+    from repro.perf.executor import set_default_max_workers
+
+    # This worker is the unit of parallelism — never fork a nested pool.
+    set_default_max_workers(1)
+    from repro.experiments.common import engine_for
+
+    for name in warm_socs:
+        engine_for(name)
+
+
+def _run_chunk(
+    indexed_jobs: Sequence[Tuple[int, object]],
+    labels: Sequence[str],
+    collect_metrics: bool,
+) -> _ChunkOutcome:
+    """Run one chunk of (index, job) pairs inside a worker.
+
+    Failures stop the chunk at the failing job (fail fast) and are
+    returned as data rather than raised — raising would lose the job
+    index and, for unpicklable exception types, poison the pool.
+    """
+    import traceback as tb
+
+    session = None
+    if collect_metrics:
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.runtime import ObsSession
+
+        session = ObsSession(trace=False, metrics=True)
+        obs_runtime.activate(session)
+    results: List[Tuple[int, object]] = []
+    failure: Optional[_JobFailure] = None
+    try:
+        for (index, job), label in zip(indexed_jobs, labels):
+            try:
+                results.append((index, job.run()))
+            except Exception as exc:  # noqa: BLE001 - shipped as data
+                failure = _JobFailure(
+                    index=index,
+                    label=label,
+                    exc_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback_text=tb.format_exc(),
+                )
+                break
+    finally:
+        if session is not None:
+            from repro.obs import runtime as obs_runtime
+
+            obs_runtime.deactivate()
+    snapshot = session.metrics.snapshot() if session is not None else None
+    return _ChunkOutcome(
+        results=tuple(results), failure=failure, snapshot=snapshot
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+def configure_warm_socs(names: Sequence[str]) -> None:
+    """Set the SoCs the *next* created pool warms its workers with.
+
+    Takes effect lazily: an already-running pool keeps its warm set
+    (its workers have long absorbed the cost either way).
+    """
+    global _WARM_SOCS
+    _WARM_SOCS = tuple(names)
+
+
+def warm_socs() -> Tuple[str, ...]:
+    """The SoC names the pool initializer currently seeds."""
+    return _WARM_SOCS
+
+
+def get_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The persistent pool, created (or grown) to ``max_workers``.
+
+    A pool with at least ``max_workers`` workers is reused as-is —
+    shrinking would discard warm caches for no benefit. A forked child
+    process never reuses its parent's pool handle.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_PID, _POOL_GENERATION
+    if max_workers < 1:
+        raise SimulationError(f"pool workers must be >= 1, got {max_workers}")
+    if _POOL is not None and _POOL_PID != os.getpid():
+        # Inherited across a fork: the executor belongs to the parent.
+        _POOL = None
+        _POOL_WORKERS = 0
+    if _POOL is not None and _POOL_WORKERS < max_workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_warm_worker,
+            initargs=(_WARM_SOCS,),
+        )
+        _POOL_WORKERS = max_workers
+        _POOL_PID = os.getpid()
+        _POOL_GENERATION += 1
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the persistent pool down (atexit does this automatically)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_PID == os.getpid():
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def pool_size() -> int:
+    """Workers in the live pool (0 when no pool exists in this process)."""
+    if _POOL is None or _POOL_PID != os.getpid():
+        return 0
+    return _POOL_WORKERS
+
+
+def pool_generation() -> int:
+    """How many pools this process has created (tests assert reuse)."""
+    return _POOL_GENERATION
+
+
+atexit.register(shutdown_pool)
+
+
+# ----------------------------------------------------------------------
+# Chunked map
+# ----------------------------------------------------------------------
+def _chunk_size(n_jobs: int, workers: int) -> int:
+    """Adaptive chunk size: ~``_CHUNKS_PER_WORKER`` chunks per worker."""
+    return max(1, -(-n_jobs // (workers * _CHUNKS_PER_WORKER)))
+
+
+def _raise_failure(failure: _JobFailure) -> None:
+    raise JobFailedError(
+        f"job {failure.index} ({failure.label}) failed with "
+        f"{failure.exc_type}: {failure.message}\n"
+        f"worker traceback:\n{failure.traceback_text}",
+        index=failure.index,
+        label=failure.label,
+    )
+
+
+def map_on_pool(
+    indexed_jobs: Sequence[Tuple[int, object]],
+    labels: Dict[int, str],
+    max_workers: int,
+) -> Dict[int, object]:
+    """Run (index, job) pairs on the persistent pool; results by index.
+
+    Raises :class:`~repro.errors.JobFailedError` on the first failed
+    job, after cancelling chunks that have not started; the pool itself
+    stays alive for the next call.
+    """
+    from repro.obs import runtime as obs_runtime
+
+    collect_metrics = obs_runtime.active().metrics.enabled
+    workers = min(max_workers, len(indexed_jobs))
+    pool = get_pool(workers)
+    size = _chunk_size(len(indexed_jobs), workers)
+    futures = []
+    for start in range(0, len(indexed_jobs), size):
+        chunk = indexed_jobs[start : start + size]
+        chunk_labels = [labels[index] for index, _ in chunk]
+        futures.append(
+            pool.submit(_run_chunk, chunk, chunk_labels, collect_metrics)
+        )
+    results: Dict[int, object] = {}
+    snapshots: List[MetricsSnapshot] = []
+    pending = set(futures)
+    failure: Optional[_JobFailure] = None
+    pool_error: Optional[BaseException] = None
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                outcome = future.result()
+                for index, value in outcome.results:
+                    results[index] = value
+                if outcome.snapshot is not None:
+                    snapshots.append(outcome.snapshot)
+                if outcome.failure is not None and failure is None:
+                    failure = outcome.failure
+            if failure is not None:
+                break
+    except BaseException as exc:  # pool machinery itself broke
+        pool_error = exc
+        raise
+    finally:
+        if failure is not None or pool_error is not None:
+            for future in pending:
+                future.cancel()
+        if pool_error is not None:
+            # A broken pool cannot be reused; drop it so the next
+            # parallel_map starts a fresh one.
+            shutdown_pool()
+    if collect_metrics and snapshots:
+        registry = obs_runtime.active().metrics
+        for snapshot in snapshots:
+            registry.absorb(snapshot)
+    if failure is not None:
+        _raise_failure(failure)
+    return results
+
+
+__all__ = [
+    "DEFAULT_WARM_SOCS",
+    "configure_warm_socs",
+    "get_pool",
+    "map_on_pool",
+    "pool_generation",
+    "pool_size",
+    "shutdown_pool",
+    "warm_socs",
+]

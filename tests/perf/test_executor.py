@@ -4,9 +4,10 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import JobFailedError, SimulationError
 from repro.perf import (
     default_max_workers,
+    job_label,
     parallel_map,
     set_default_max_workers,
 )
@@ -60,13 +61,44 @@ class TestParallelMap:
         (result,) = parallel_map([IdentityJob()], max_workers=4)
         assert result is marker
 
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError, match="boom"):
-            parallel_map([FailingJob(), FailingJob()], max_workers=2)
+    def test_worker_exception_names_the_job(self):
+        with pytest.raises(JobFailedError, match="boom") as excinfo:
+            parallel_map([SquareJob(1), FailingJob()], max_workers=2)
+        assert excinfo.value.index == 1
+        assert "FailingJob" in excinfo.value.label
+        assert "ValueError" in str(excinfo.value)
 
-    def test_serial_exception_propagates(self):
-        with pytest.raises(ValueError, match="boom"):
+    def test_serial_exception_names_the_job(self):
+        with pytest.raises(JobFailedError, match="boom") as excinfo:
             parallel_map([FailingJob()], max_workers=1)
+        assert excinfo.value.index == 0
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_explicit_labels_in_errors(self):
+        with pytest.raises(JobFailedError) as excinfo:
+            parallel_map(
+                [SquareJob(0), FailingJob()],
+                max_workers=1,
+                labels=["ok", "doomed"],
+            )
+        assert excinfo.value.label == "doomed"
+        assert "doomed" in str(excinfo.value)
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            parallel_map([SquareJob(0)], max_workers=1, labels=["a", "b"])
+
+    def test_job_label_uses_describe(self):
+        @dataclass(frozen=True)
+        class Described:
+            def describe(self) -> str:
+                return "my-sweep"
+
+            def run(self):
+                return None
+
+        assert job_label(Described(), 3) == "my-sweep"
+        assert job_label(SquareJob(2), 3) == "SquareJob#3"
 
 
 class TestDefaultMaxWorkers:

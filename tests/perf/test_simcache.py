@@ -1,0 +1,275 @@
+"""The content-addressed simulation cache: keys, recovery, bit-identity."""
+
+import filecmp
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import common
+from repro.perf import parallel_map, shutdown_pool
+from repro.perf.jobs import ExperimentJob, PressureSweepJob
+from repro.perf.simcache import (
+    CACHE_SCHEMA_VERSION,
+    SimCache,
+    activate_sim_cache,
+    active_sim_cache,
+    set_sim_cache,
+)
+from repro.soc.spec import PUType
+from repro.workloads.rodinia import rodinia_kernel
+
+
+@dataclass(frozen=True)
+class CountingJob:
+    """Cacheable job that tallies real executions in a side-band file."""
+
+    value: int
+    tally_path: str
+
+    def describe(self) -> str:
+        return f"counting:{self.value}"
+
+    def signature(self) -> str:
+        return repr(("counting.v1", self.value))
+
+    def run(self) -> int:
+        with open(self.tally_path, "a") as handle:
+            handle.write("x\n")
+        return self.value * 10
+
+
+def _tally(path) -> int:
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_cache():
+    previous = set_sim_cache(None)
+    yield
+    set_sim_cache(previous)
+
+
+class TestKeys:
+    def test_same_inputs_same_key(self, tmp_path):
+        cache = SimCache(tmp_path)
+        kernel = rodinia_kernel("cfd", PUType.GPU)
+        a = PressureSweepJob("xavier-agx", kernel, "gpu", (1.0, 2.0))
+        b = PressureSweepJob("xavier-agx", kernel, "gpu", (1.0, 2.0))
+        assert cache.key_for(a) == cache.key_for(b)
+
+    def test_any_input_changes_the_key(self, tmp_path):
+        cache = SimCache(tmp_path)
+        kernel = rodinia_kernel("cfd", PUType.GPU)
+        base = PressureSweepJob("xavier-agx", kernel, "gpu", (1.0, 2.0))
+        variants = [
+            PressureSweepJob("snapdragon-855", kernel, "gpu", (1.0, 2.0)),
+            PressureSweepJob("xavier-agx", kernel, "cpu", (1.0, 2.0)),
+            PressureSweepJob("xavier-agx", kernel, "gpu", (1.0, 2.5)),
+            PressureSweepJob(
+                "xavier-agx",
+                rodinia_kernel("bfs", PUType.GPU),
+                "gpu",
+                (1.0, 2.0),
+            ),
+        ]
+        keys = {cache.key_for(job) for job in variants}
+        assert cache.key_for(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_code_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        import repro.perf.simcache as simcache_module
+
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        assert cache.store(key, {"answer": 42})
+        assert cache.lookup(key) == (True, {"answer": 42})
+        # Simulate a code edit: the process-wide fingerprint changes and
+        # a new cache (same directory) must miss every old entry.
+        monkeypatch.setattr(
+            simcache_module, "_CODE_FINGERPRINT", "deadbeef" * 8
+        )
+        stale = SimCache(tmp_path)
+        new_key = stale.key_for_signature("sig")
+        assert new_key != key
+        assert stale.lookup(new_key) == (False, None)
+
+    def test_experiment_job_is_uncacheable(self, tmp_path):
+        cache = SimCache(tmp_path)
+        assert cache.key_for(ExperimentJob("fig2")) is None
+
+    def test_jobs_without_signature_are_uncacheable(self, tmp_path):
+        cache = SimCache(tmp_path)
+        assert cache.key_for(object()) is None
+
+
+class TestRecovery:
+    def test_corrupt_entry_is_recomputed_and_overwritten(self, tmp_path):
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        assert cache.store(key, [1, 2, 3])
+        entry = cache._entry_path(key)
+        entry.write_bytes(b"not a pickle at all")
+        assert cache.lookup(key) == (False, None)
+        assert cache.invalidations == 1
+        assert cache.store(key, [1, 2, 3])
+        assert cache.lookup(key) == (True, [1, 2, 3])
+
+    def test_truncated_entry_tolerated(self, tmp_path):
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        assert cache.store(key, {"a": 1})
+        entry = cache._entry_path(key)
+        entry.write_bytes(entry.read_bytes()[:7])
+        assert cache.lookup(key) == (False, None)
+        assert cache.invalidations == 1
+
+    def test_schema_version_mismatch_invalidates(self, tmp_path):
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        entry = cache._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(
+            pickle.dumps(
+                {
+                    "version": CACHE_SCHEMA_VERSION + 1,
+                    "key": key,
+                    "result": 5,
+                }
+            )
+        )
+        assert cache.lookup(key) == (False, None)
+        assert cache.invalidations == 1
+
+    def test_unpicklable_result_is_skipped_not_fatal(self, tmp_path):
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        assert cache.store(key, lambda: None) is False
+        assert cache.stores == 0
+
+
+class TestParallelMapIntegration:
+    def test_hits_skip_execution(self, tmp_path):
+        tally = tmp_path / "tally.txt"
+        jobs = [CountingJob(i, str(tally)) for i in range(4)]
+        activate_sim_cache(tmp_path / "cache")
+        cache = active_sim_cache()
+        first = parallel_map(jobs, max_workers=1)
+        assert first == [0, 10, 20, 30]
+        assert _tally(tally) == 4
+        assert (cache.misses, cache.stores, cache.hits) == (4, 4, 0)
+        second = parallel_map(jobs, max_workers=1)
+        assert second == first
+        assert _tally(tally) == 4  # nothing re-executed
+        assert cache.hits == 4
+
+    def test_partial_hits_execute_only_misses(self, tmp_path):
+        tally = tmp_path / "tally.txt"
+        activate_sim_cache(tmp_path / "cache")
+        parallel_map(
+            [CountingJob(i, str(tally)) for i in range(2)], max_workers=1
+        )
+        results = parallel_map(
+            [CountingJob(i, str(tally)) for i in range(4)], max_workers=1
+        )
+        assert results == [0, 10, 20, 30]
+        assert _tally(tally) == 4  # 2 cold + 2 new, 2 served from disk
+
+    def test_no_cache_active_is_a_no_op(self, tmp_path):
+        tally = tmp_path / "tally.txt"
+        jobs = [CountingJob(i, str(tally)) for i in range(2)]
+        assert active_sim_cache() is None
+        parallel_map(jobs, max_workers=1)
+        parallel_map(jobs, max_workers=1)
+        assert _tally(tally) == 4  # every call re-executes
+
+
+class TestCalibrationCaching:
+    def test_params_cached_and_identical(self, tmp_path):
+        common.clear_caches()
+        cold = common.pccs_params_for("xavier-agx", "gpu")
+        activate_sim_cache(tmp_path / "cache")
+        cache = active_sim_cache()
+        common.clear_caches()
+        stored = common.pccs_params_for("xavier-agx", "gpu")
+        assert stored == cold
+        assert cache.stores == 1 and cache.hits == 0
+        common.clear_caches()
+        warm = common.pccs_params_for("xavier-agx", "gpu")
+        assert warm == cold
+        assert cache.hits == 1
+
+
+class TestArtifactBitIdentity:
+    def test_runner_sim_cache_byte_identical_artifacts(
+        self, tmp_path, capsys
+    ):
+        """Cold serial, cold-cached, and warm-cached runs of two
+        experiments must write byte-identical files."""
+        from repro.experiments.runner import main
+
+        names = ["fig9", "fig2"]
+        plain_dir = tmp_path / "plain"
+        cold_dir = tmp_path / "cold"
+        warm_dir = tmp_path / "warm"
+        cache_dir = str(tmp_path / "cache")
+        common.clear_caches()
+        assert main(names + ["--out", str(plain_dir), "--csv"]) == 0
+        common.clear_caches()
+        assert (
+            main(
+                names
+                + ["--out", str(cold_dir), "--csv", "--sim-cache", cache_dir]
+            )
+            == 0
+        )
+        common.clear_caches()
+        assert (
+            main(
+                names
+                + ["--out", str(warm_dir), "--csv", "--sim-cache", cache_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        files = sorted(p.name for p in plain_dir.iterdir())
+        assert files == sorted(p.name for p in cold_dir.iterdir())
+        assert files == sorted(p.name for p in warm_dir.iterdir())
+        for other in (cold_dir, warm_dir):
+            match, mismatch, errors = filecmp.cmpfiles(
+                plain_dir, other, files, shallow=False
+            )
+            assert mismatch == [] and errors == []
+            assert sorted(match) == files
+
+    def test_pool_plus_cache_byte_identical_artifacts(
+        self, tmp_path, capsys
+    ):
+        """--jobs 2 --sim-cache (pool + cache together) matches serial."""
+        from repro.experiments.runner import main
+
+        names = ["fig9"]
+        plain_dir = tmp_path / "plain"
+        fast_dir = tmp_path / "fast"
+        common.clear_caches()
+        assert main(names + ["--out", str(plain_dir)]) == 0
+        common.clear_caches()
+        assert (
+            main(
+                names
+                + [
+                    "--out",
+                    str(fast_dir),
+                    "--jobs",
+                    "2",
+                    "--sim-cache",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        shutdown_pool()
+        assert (plain_dir / "fig9.txt").read_bytes() == (
+            fast_dir / "fig9.txt"
+        ).read_bytes()
