@@ -176,8 +176,10 @@ def _cmd_lint(args) -> int:
     from repro.errors import LintError
     from repro.lint import render_json, render_text, rule_table
     from repro.lint.baseline import (
+        baseline_counts,
         filter_new,
         read_baseline,
+        split_unknown_rules,
         write_baseline,
     )
     from repro.lint.cache import CACHE_DIR_NAME, LintCache
@@ -185,13 +187,26 @@ def _cmd_lint(args) -> int:
         iter_python_files,
         lint_files,
     )
-    from repro.lint.scope import changed_python_files, restrict_to_paths
+    from repro.lint.report import render_sarif
+    from repro.lint.rules import ALL_RULE_IDS, explain_rule
+    from repro.lint.scope import (
+        changed_python_files,
+        needs_whole_program,
+        restrict_to_paths,
+    )
 
     if args.list_rules:
         table = TextTable(["rule", "summary"], title="pccs lint rules")
         for rule_id, summary in rule_table():
             table.add_row([rule_id, summary])
         print(table.render())
+        return 0
+    if args.explain:
+        try:
+            print(explain_rule(args.explain))
+        except LintError as exc:
+            print(f"pccs lint: error: {exc}", file=sys.stderr)
+            return 2
         return 0
     paths = args.paths or [_default_lint_root()]
     rule_ids = None
@@ -205,8 +220,22 @@ def _cmd_lint(args) -> int:
     cache = LintCache(Path(CACHE_DIR_NAME)) if args.cache else None
     try:
         if args.changed_only:
+            interprocedural = needs_whole_program(rule_ids)
             changed = changed_python_files()
-            if changed is None:
+            if interprocedural:
+                # Whole-program rules read effect summaries across the
+                # tree: an edit in a changed file can create (or fix)
+                # findings in files git considers untouched, so a
+                # diff-scoped run would be unsound in both directions.
+                print(
+                    "changed-only: widening to a full lint — "
+                    f"{', '.join(interprocedural)} "
+                    "need(s) whole-program analysis "
+                    "(use --rules to select only per-file rules)",
+                    file=sys.stderr,
+                )
+                files = list(iter_python_files(paths))
+            elif changed is None:
                 # Not a git checkout (or git failed): lint everything
                 # rather than silently lint nothing.
                 files = list(iter_python_files(paths))
@@ -216,9 +245,32 @@ def _cmd_lint(args) -> int:
             files = list(iter_python_files(paths))
         findings = lint_files(files, rule_ids=rule_ids, cache=cache)
         if args.write_baseline:
-            write_baseline(findings, Path(args.write_baseline))
+            target = Path(args.write_baseline)
+            if target.is_file():
+                try:
+                    previous = read_baseline(target)
+                except LintError:
+                    previous = None  # unreadable: overwrite outright
+                if previous:
+                    _, unknown = split_unknown_rules(
+                        previous, set(ALL_RULE_IDS)
+                    )
+                    if unknown:
+                        pruned_rules = sorted(
+                            {rule for (_, rule, _) in unknown}
+                        )
+                        print(
+                            "baseline: pruning "
+                            f"{sum(unknown.values())} entr"
+                            f"{'y' if sum(unknown.values()) == 1 else 'ies'}"
+                            " for unknown rule(s): "
+                            f"{', '.join(pruned_rules)}",
+                            file=sys.stderr,
+                        )
+            write_baseline(findings, target)
+            recorded = sum(baseline_counts(findings).values())
             print(
-                f"baseline: recorded {len(findings)} finding(s) "
+                f"baseline: recorded {recorded} finding(s) "
                 f"to {args.write_baseline}"
             )
             return 0
@@ -229,7 +281,10 @@ def _cmd_lint(args) -> int:
     except LintError as exc:
         print(f"pccs lint: error: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     print(renderer(findings))
     if cache is not None:
         print(
@@ -377,14 +432,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="findings output format",
+        help=(
+            "findings output format (sarif: SARIF 2.1.0 for GitHub "
+            "code scanning)"
+        ),
     )
     p.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    p.add_argument(
+        "--explain",
+        metavar="LINT0NN",
+        help=(
+            "print one rule's rationale, a true positive/negative "
+            "example, and suppression guidance, then exit"
+        ),
     )
     p.add_argument(
         "--cache",

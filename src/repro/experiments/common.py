@@ -14,6 +14,13 @@ from repro.soc.engine import CoRunEngine
 _ENGINES: Dict[str, CoRunEngine] = {}
 _PARAMS: Dict[Tuple[str, str], PCCSParameters] = {}
 
+#: Fork-safety declaration (LINT016): both registries are deliberately
+#: per-process caches of deterministic constructions — every process
+#: that builds an engine or calibration for the same SoC gets an
+#: identical object, so coordinator/worker divergence is benign (each
+#: side just pays its own warm-up, which the pool initializer exploits).
+_PROCESS_LOCAL_STATE = ("_ENGINES", "_PARAMS")
+
 
 def engine_for(soc_name: str) -> CoRunEngine:
     """A cached engine for a built-in SoC (standalone profiles persist)."""

@@ -11,7 +11,11 @@ control-flow graphs (:mod:`repro.lint.cfg`), solves forward data-flow
 problems over them (:mod:`repro.lint.dataflow`), and classifies
 module call graphs (:mod:`repro.lint.callgraph`) to find unit-mixing
 arithmetic, wall-clock/RNG values flowing into model state, and
-unpicklable values transitively reaching parallel jobs.
+unpicklable values transitively reaching parallel jobs. The
+interprocedural pass (LINT014–016) links per-function effect
+summaries (:mod:`repro.lint.effects`) into a whole-program call graph
+to verify the cache-key completeness, observability-purity, and
+fork-safety contracts (see ``DESIGN.md`` §2.13).
 
 Public surface:
 
@@ -19,24 +23,29 @@ Public surface:
 - :func:`lint_paths` / :func:`lint_files` — lint trees or explicit
   file lists, optionally through a :class:`LintCache`;
 - :func:`lint_source` — lint one source string (fixture-friendly);
-- :data:`ALL_RULE_IDS` / :func:`rule_table` — the rule registry;
+- :data:`ALL_RULE_IDS` / :func:`rule_table` / :func:`explain_rule` —
+  the rule registry and its self-documentation;
+- :func:`render_text` / :func:`render_json` / :func:`render_sarif` —
+  the ``--format`` renderers;
 - :mod:`repro.lint.baseline` — the ``--baseline`` ratchet format;
 - :mod:`repro.lint.determinism` — the dynamic PYTHONHASHSEED harness.
 """
 
 from repro.lint.cache import LintCache
 from repro.lint.engine import Finding, lint_files, lint_paths, lint_source
-from repro.lint.report import render_json, render_text
-from repro.lint.rules import ALL_RULE_IDS, rule_table
+from repro.lint.report import render_json, render_sarif, render_text
+from repro.lint.rules import ALL_RULE_IDS, explain_rule, rule_table
 
 __all__ = [
     "ALL_RULE_IDS",
     "Finding",
     "LintCache",
+    "explain_rule",
     "lint_files",
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_table",
 ]

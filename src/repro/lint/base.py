@@ -8,7 +8,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:
+    from repro.lint.effects import Program
 
 
 @dataclass(frozen=True, order=True)
@@ -32,6 +35,14 @@ class FileContext:
     norm_path: str
     """Forward-slash path used for scope matching."""
 
+    program: Optional["Program"] = None
+    """Whole-program effect summaries (:mod:`repro.lint.effects`).
+
+    Populated by the engine whenever an interprocedural rule is
+    selected; ``None`` otherwise. Interprocedural checkers return no
+    findings without it rather than guessing from one file.
+    """
+
 
 Checker = Callable[[ast.Module, FileContext], List[Finding]]
 
@@ -43,6 +54,15 @@ class Rule:
     rule_id: str
     summary: str
     checker: Checker
+
+    interprocedural: bool = False
+    """Findings may depend on code outside the file being linted.
+
+    The engine builds a whole-program :class:`~repro.lint.effects.Program`
+    when any selected rule sets this, and ``--changed-only`` widens a
+    git-scoped run back to the full paths for the same reason: a callee
+    edit in one file can change findings reported in another.
+    """
 
 
 __all__ = ["Checker", "FileContext", "Finding", "Rule"]

@@ -7,6 +7,18 @@ count, deliberately **line-insensitive**: editing an unrelated part of
 a file moves line numbers without creating new debt, and fixing one of
 N identical findings in a file shrinks the allowance so the fix cannot
 silently regress.
+
+Baselines outlive rule registries in both directions, so the ratchet
+tolerates skew instead of failing:
+
+- a **new rule** simply has no entries — all of its findings report as
+  new, which is the point of adding it (record them with
+  ``--write-baseline`` to ratchet the new rule in);
+- entries for a **removed or renamed rule** are preserved by
+  :func:`read_baseline` (they are inert: no current finding matches
+  their key) and pruned on the next ``--write-baseline``, which warns
+  about them via :func:`split_unknown_rules` rather than silently
+  dropping recorded debt.
 """
 
 from __future__ import annotations
@@ -14,7 +26,14 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Counter as CounterType, Dict, List, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Counter as CounterType,
+    Dict,
+    List,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import LintError
 from repro.lint.base import Finding
@@ -86,6 +105,25 @@ def read_baseline(path: Path) -> CounterType[BaselineKey]:
     return counts
 
 
+def split_unknown_rules(
+    counts: CounterType[BaselineKey],
+    known_rules: AbstractSet[str],
+) -> Tuple[CounterType[BaselineKey], CounterType[BaselineKey]]:
+    """Partition baseline entries into (known-rule, unknown-rule) counts.
+
+    Unknown entries come from rules that were removed or renamed after
+    the baseline was written. They never match a current finding, so
+    keeping them is harmless — but ``--write-baseline`` uses this split
+    to warn that it is pruning them, so recorded debt never vanishes
+    without a trace.
+    """
+    known: CounterType[BaselineKey] = Counter()
+    unknown: CounterType[BaselineKey] = Counter()
+    for key, count in counts.items():
+        (known if key[1] in known_rules else unknown)[key] = count
+    return known, unknown
+
+
 def filter_new(
     findings: Sequence[Finding],
     baseline: CounterType[BaselineKey],
@@ -113,5 +151,6 @@ __all__ = [
     "baseline_counts",
     "filter_new",
     "read_baseline",
+    "split_unknown_rules",
     "write_baseline",
 ]

@@ -53,13 +53,23 @@ class LintCache:
         self._fingerprint = _analyzer_fingerprint()
 
     def key_for(
-        self, source: str, rule_ids: Optional[Sequence[str]]
+        self,
+        source: str,
+        rule_ids: Optional[Sequence[str]],
+        extra: str = "",
     ) -> str:
-        """Cache key for one file's lint run (path-independent)."""
+        """Cache key for one file's lint run (path-independent).
+
+        ``extra`` folds additional invalidation context into the key —
+        the engine passes the whole-program effect fingerprint when
+        interprocedural rules are selected, so a finding computed
+        against one program state is never served against another.
+        """
         digest = hashlib.sha256()
         digest.update(self._fingerprint.encode("utf-8"))
         rules_part = ",".join(rule_ids) if rule_ids is not None else "*"
         digest.update(rules_part.encode("utf-8"))
+        digest.update(extra.encode("utf-8"))
         digest.update(source.encode("utf-8"))
         return digest.hexdigest()
 

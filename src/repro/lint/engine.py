@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import LintError
 from repro.lint.cache import LintCache
+from repro.lint.effects import EffectsCache, Program, build_program
 from repro.lint.rules import (
     FileContext,
     Finding,
@@ -20,14 +21,28 @@ PARSE_RULE_ID = "LINT000"
 """Pseudo-rule id attached to files that fail to parse."""
 
 
+def _needs_program(rules: Sequence[Rule]) -> bool:
+    return any(rule.interprocedural for rule in rules)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rule_ids: Optional[Sequence[str]] = None,
+    program: Optional[Program] = None,
 ) -> List[Finding]:
-    """Lint one source string; ``path`` scopes path-sensitive rules."""
+    """Lint one source string; ``path`` scopes path-sensitive rules.
+
+    When an interprocedural rule is selected and no ``program`` is
+    supplied, a single-module program is built from this source alone —
+    whole-file analyses still run, they just cannot see other modules.
+    """
     rules = resolve_rules(rule_ids)
-    ctx = FileContext(path=path, norm_path=Path(path).as_posix())
+    if program is None and _needs_program(rules):
+        program = build_program([(path, source)])
+    ctx = FileContext(
+        path=path, norm_path=Path(path).as_posix(), program=program
+    )
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -66,24 +81,46 @@ def lint_files(
     rule_ids: Optional[Sequence[str]] = None,
     cache: Optional[LintCache] = None,
 ) -> List[Finding]:
-    """Lint an explicit file list, optionally through a result cache."""
-    resolve_rules(rule_ids)  # fail fast on unknown ids before any I/O
+    """Lint an explicit file list, optionally through a result cache.
+
+    When any selected rule is interprocedural, every file's source is
+    read up front and a whole-program :class:`Program` is built over
+    them (per-module summaries cached beside the lint result cache).
+    Per-file result entries are then keyed on the program fingerprint
+    as well — editing any file soundly invalidates findings that might
+    have depended on it.
+    """
+    rules = resolve_rules(rule_ids)  # fail fast on unknown ids
+    sources: List[Tuple[str, str]] = [
+        (str(file_path), file_path.read_text(encoding="utf-8"))
+        for file_path in files
+    ]
+    program: Optional[Program] = None
+    cache_extra = ""
+    if _needs_program(rules):
+        effects_cache = (
+            EffectsCache(cache.directory) if cache is not None else None
+        )
+        program = build_program(sources, cache=effects_cache)
+        cache_extra = program.fingerprint()
     findings: List[Finding] = []
-    for file_path in files:
-        source = file_path.read_text(encoding="utf-8")
-        path = str(file_path)
+    for path, source in sources:
         if cache is not None:
-            key = cache.key_for(source, rule_ids)
+            key = cache.key_for(source, rule_ids, extra=cache_extra)
             cached = cache.lookup(key, path)
             if cached is not None:
                 findings.extend(cached)
                 continue
-            fresh = lint_source(source, path=path, rule_ids=rule_ids)
+            fresh = lint_source(
+                source, path=path, rule_ids=rule_ids, program=program
+            )
             cache.store(key, path, fresh)
             findings.extend(fresh)
         else:
             findings.extend(
-                lint_source(source, path=path, rule_ids=rule_ids)
+                lint_source(
+                    source, path=path, rule_ids=rule_ids, program=program
+                )
             )
     return sorted(findings)
 

@@ -2,17 +2,26 @@
 
 Asks git for the working tree's changed files (staged, unstaged, and
 untracked) and intersects them with the requested lint paths, so a
-pre-commit hook lints only what the commit touches. Degrades safely:
-when git is unavailable, the directory is not a repository, or the
-subprocess fails for any reason, callers receive ``None`` and should
-fall back to a full lint rather than silently lint nothing.
+pre-commit hook lints only what the commit touches. Degrades safely in
+two directions, both toward linting *more* rather than silently linting
+nothing:
+
+- when git is unavailable, the directory is not a repository, or the
+  subprocess fails for any reason, callers receive ``None`` and fall
+  back to a full lint;
+- when any **interprocedural** rule is selected
+  (:func:`needs_whole_program`), the git scoping is skipped entirely —
+  those rules read whole-program effect summaries
+  (:mod:`repro.lint.effects`), so an edit in a changed file can create
+  or fix findings in files git considers untouched. Linting only the
+  diff would both miss new findings and report stale ones.
 """
 
 from __future__ import annotations
 
 import subprocess
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 _GIT_TIMEOUT_S = 10.0
 
@@ -65,6 +74,27 @@ def changed_python_files(cwd: Optional[Path] = None) -> Optional[List[Path]]:
     return sorted(files)
 
 
+def needs_whole_program(
+    rule_ids: Optional[Sequence[str]],
+) -> Tuple[str, ...]:
+    """The selected interprocedural rules (empty = git scoping is sound).
+
+    ``--changed-only`` calls this before narrowing to git's changed
+    files: a non-empty result means at least one selected rule
+    (``None`` selects all) computes findings from whole-program effect
+    summaries, so the caller must lint the full requested paths. The
+    returned ids let the CLI say *why* it widened. Unknown rule ids
+    raise :class:`~repro.errors.LintError`, same as the engine would.
+    """
+    from repro.lint.rules import resolve_rules
+
+    return tuple(
+        rule.rule_id
+        for rule in resolve_rules(rule_ids)
+        if rule.interprocedural
+    )
+
+
 def restrict_to_paths(
     files: Sequence[Path], roots: Sequence[str]
 ) -> List[Path]:
@@ -80,4 +110,8 @@ def restrict_to_paths(
     return out
 
 
-__all__ = ["changed_python_files", "restrict_to_paths"]
+__all__ = [
+    "changed_python_files",
+    "needs_whole_program",
+    "restrict_to_paths",
+]

@@ -69,6 +69,13 @@ class ObsSession:
 _DEFAULT = ObsSession(trace=False, metrics=False)
 _STACK: list = []
 
+#: Fork-safety declaration (LINT016): the session stack is deliberately
+#: per-process. Workers activate their own metrics-only sessions and
+#: ship immutable snapshots back; the coordinator merges snapshots, so
+#: worker-side pushes never needing to be visible coordinator-side is
+#: the design, not an accident.
+_PROCESS_LOCAL_STATE = ("_STACK",)
+
 
 def active() -> ObsSession:
     """The innermost active session (the inert default when none is)."""

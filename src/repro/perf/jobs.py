@@ -13,6 +13,14 @@ Jobs participate in two optional protocols:
   (value objects, not just names), opting the job into the
   content-addressed simulation cache (:mod:`repro.perf.simcache`).
   Jobs with side effects or undeclared inputs return ``None``.
+
+Signature completeness is checked statically: LINT014
+(:mod:`repro.lint.effects`) computes the attributes ``run()``
+transitively reads and requires each declared field among them to be
+hashed by ``signature()`` — or listed in a class-level
+``SIGNATURE_INERT`` tuple naming fields that cannot change ``run()``'s
+results (labels, progress cosmetics). Prefer the declaration over a
+pragma: it is typo-checked and reads as documentation.
 """
 
 from __future__ import annotations

@@ -46,6 +46,14 @@ _CODE_FINGERPRINT: Optional[str] = None
 
 _ACTIVE: Optional["SimCache"] = None
 
+#: Fork-safety declaration (LINT016): both globals are deliberately
+#: per-process. The fingerprint is a deterministic pure function of the
+#: source tree (every process computes the same string), and the active
+#: cache is re-installed inside each worker by ``ExperimentJob.run`` —
+#: the processes converge on the same on-disk store, never on shared
+#: memory.
+_PROCESS_LOCAL_STATE = ("_ACTIVE", "_CODE_FINGERPRINT")
+
 
 def code_fingerprint() -> str:
     """sha256 over every ``repro`` source plus the code version.

@@ -61,6 +61,45 @@ class TestFilterNew:
         assert filter_new(current, baseline_counts([])) == current
 
 
+class TestRuleSkew:
+    """The ratchet survives rules being added, removed, or renamed."""
+
+    def test_entries_for_unknown_rules_are_read_not_rejected(
+        self, tmp_path
+    ):
+        path = tmp_path / "base.json"
+        write_baseline(
+            [_finding(3, rule="LINT999"), _finding(5)], path
+        )
+        counts = read_baseline(path)
+        assert counts[("m.py", "LINT999", "wall-clock read")] == 1
+
+    def test_new_rule_findings_report_as_new(self):
+        # A baseline written before LINT014 existed has no allowance
+        # for it: its findings all surface, ready to be ratcheted.
+        counts = baseline_counts([_finding(3)])
+        fresh = _finding(9, rule="LINT014")
+        assert filter_new([fresh], counts) == [fresh]
+
+    def test_split_unknown_rules_partitions_counts(self):
+        from repro.lint.baseline import split_unknown_rules
+
+        counts = baseline_counts(
+            [_finding(1), _finding(2, rule="LINT999")]
+        )
+        known, unknown = split_unknown_rules(counts, {"LINT003"})
+        assert set(known) == {("m.py", "LINT003", "wall-clock read")}
+        assert set(unknown) == {("m.py", "LINT999", "wall-clock read")}
+
+    def test_split_with_no_unknowns_is_lossless(self):
+        from repro.lint.baseline import split_unknown_rules
+
+        counts = baseline_counts([_finding(1), _finding(2)])
+        known, unknown = split_unknown_rules(counts, {"LINT003"})
+        assert known == counts
+        assert not unknown
+
+
 class TestErrors:
     def test_missing_file_raises_lint_error(self, tmp_path):
         with pytest.raises(LintError):

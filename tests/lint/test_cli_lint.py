@@ -125,6 +125,38 @@ class TestChangedOnlyFlag:
         assert main(["lint", "--changed-only", str(dirty_file)]) == 1
         assert "LINT005" in capsys.readouterr().out
 
+    def test_interprocedural_rules_widen_to_full_lint(
+        self, dirty_file, capsys
+    ):
+        # The default rule set includes whole-program rules, so the
+        # git scoping is abandoned (with a note) and everything in the
+        # requested paths is linted — even unchanged files.
+        assert main(["lint", "--changed-only", str(dirty_file)]) == 1
+        captured = capsys.readouterr()
+        assert "widening to a full lint" in captured.err
+        assert "LINT014" in captured.err
+        assert "LINT005" in captured.out
+
+    def test_per_file_rule_subset_keeps_git_scoping(
+        self, dirty_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-repo"))
+        assert (
+            main(
+                [
+                    "lint",
+                    "--changed-only",
+                    "--rules",
+                    "LINT005",
+                    str(dirty_file),
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "widening" not in captured.err
+
 
 class TestBaselineFlags:
     def test_write_then_ratchet(
@@ -172,3 +204,83 @@ class TestBaselineFlags:
             ]
         ) == 2
         assert "baseline" in capsys.readouterr().err
+
+    def test_rewrite_prunes_unknown_rule_entries_with_warning(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        base.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "file": "old.py",
+                            "rule": "LINT999",
+                            "message": "from a removed rule",
+                            "count": 2,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(
+            ["lint", "--write-baseline", str(base), str(dirty_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "pruning 2 entries" in captured.err
+        assert "LINT999" in captured.err
+        rewritten = json.loads(base.read_text())
+        assert all(
+            entry["rule"] != "LINT999" for entry in rewritten["entries"]
+        )
+
+    def test_rewrite_without_skew_stays_silent(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        main(["lint", "--write-baseline", str(base), str(dirty_file)])
+        capsys.readouterr()
+        main(["lint", "--write-baseline", str(base), str(dirty_file)])
+        assert "pruning" not in capsys.readouterr().err
+
+
+class TestSarifFormat:
+    def test_sarif_document_round_trips(self, dirty_file, capsys):
+        assert (
+            main(["lint", "--format", "sarif", str(dirty_file)]) == 1
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "LINT005"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_clean_tree_renders_empty_results(self, clean_file, capsys):
+        assert (
+            main(["lint", "--format", "sarif", str(clean_file)]) == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+        # The full rule catalogue ships even on clean runs.
+        assert len(doc["runs"][0]["tool"]["driver"]["rules"]) >= 14
+
+
+class TestExplainFlag:
+    def test_explain_prints_rationale_and_exits_zero(self, capsys):
+        assert main(["lint", "--explain", "LINT014"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("LINT014")
+        assert "SIGNATURE_INERT" in out
+        assert "True positive" in out
+        assert "Suppression" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "lint016"]) == 0
+        assert "_PROCESS_LOCAL_STATE" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "LINT999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err

@@ -1,0 +1,459 @@
+"""TP/TN fixtures for the interprocedural rules (LINT014-016).
+
+Each rule gets at least three true-positive and three true-negative
+snippets. ``lint_source`` builds a single-module Program for these, so
+every fixture is self-contained — cross-module behaviour is covered by
+``tests/lint/test_effects.py`` and the package-wide self-clean test.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+JOBS_PATH = "src/repro/perf/fake_jobs.py"
+MODEL_PATH = "src/repro/soc/fake_engine.py"
+
+
+def findings_for(source: str, path: str, rule: str):
+    return lint_source(
+        textwrap.dedent(source), path=path, rule_ids=[rule]
+    )
+
+
+def rule_ids(source: str, path: str, rule: str):
+    return [f.rule for f in findings_for(source, path, rule)]
+
+
+class TestLint014CacheKeyCompleteness:
+    def test_positive_field_read_by_run_missing_from_signature(self):
+        src = """
+        class SweepJob:
+            a: int
+            b: int
+
+            def run(self):
+                return self.a + self.b
+
+            def signature(self):
+                return repr(self.a)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT014")
+        assert [f.rule for f in findings] == ["LINT014"]
+        assert "'b'" in findings[0].message
+
+    def test_positive_transitive_read_through_helper(self):
+        src = """
+        class SweepJob:
+            def __init__(self, a, b):
+                self.a = a
+                self.b = b
+
+            def _total(self):
+                return self.a + self.b
+
+            def run(self):
+                return self._total()
+
+            def signature(self):
+                return repr(self.a)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT014")
+        assert [f.rule for f in findings] == ["LINT014"]
+        assert "'b'" in findings[0].message
+
+    def test_positive_self_escape_treats_all_fields_as_read(self):
+        src = """
+        def external(job):
+            return 0
+
+        class EscapeJob:
+            a: int
+            b: int
+
+            def run(self):
+                return external(self)
+
+            def signature(self):
+                return repr(self.a)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT014")
+        assert [f.rule for f in findings] == ["LINT014"]
+        assert "self escapes run()" in findings[0].message
+
+    def test_positive_unknown_inert_name_is_a_typo(self):
+        src = """
+        class TypoJob:
+            label: str
+            a: int
+            SIGNATURE_INERT = ("labell",)
+
+            def run(self):
+                return self.a
+
+            def signature(self):
+                return repr(self.a)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT014")
+        assert [f.rule for f in findings] == ["LINT014"]
+        assert "typo" in findings[0].message
+
+    def test_negative_complete_signature(self):
+        src = """
+        class CompleteJob:
+            a: int
+            b: int
+
+            def run(self):
+                return self.a + self.b
+
+            def signature(self):
+                return repr((self.a, self.b))
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT014") == []
+
+    def test_negative_inert_declaration_absorbs_cosmetics(self):
+        src = """
+        def log(msg):
+            pass
+
+        class CosmeticJob:
+            a: int
+            label: str
+            SIGNATURE_INERT = ("label",)
+
+            def run(self):
+                log(self.label)
+                return self.a
+
+            def signature(self):
+                return repr(self.a)
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT014") == []
+
+    def test_negative_describe_reads_do_not_count(self):
+        # Labels are not inputs: a field read only by describe() must
+        # not force its way into the cache key.
+        src = """
+        class LabelJob:
+            a: int
+            label: str
+
+            def describe(self):
+                return self.label
+
+            def run(self):
+                return self.a
+
+            def signature(self):
+                return repr(self.a)
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT014") == []
+
+    def test_negative_class_without_signature_is_skipped(self):
+        src = """
+        class PlainJob:
+            a: int
+
+            def run(self):
+                return self.a
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT014") == []
+
+
+class TestLint015ObsPurity:
+    def test_positive_obs_value_stored_into_model_state(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self):
+                session = obs_runtime.active()
+                self.t0 = session.harness_time()
+        """
+        findings = findings_for(src, MODEL_PATH, "LINT015")
+        assert [f.rule for f in findings] == ["LINT015"]
+        assert "stored into model state" in findings[0].message
+
+    def test_positive_control_flow_on_obs_value(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self):
+                session = obs_runtime.active()
+                if session.metrics.counter("x").value > 3:
+                    return 1
+                return 0
+        """
+        findings = findings_for(src, MODEL_PATH, "LINT015")
+        assert [f.rule for f in findings] == ["LINT015"]
+        assert "control flow depends" in findings[0].message
+
+    def test_positive_obs_value_returned(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def elapsed(self):
+                session = obs_runtime.active()
+                return session.harness_time()
+        """
+        findings = findings_for(src, MODEL_PATH, "LINT015")
+        assert len(findings) == 1
+        assert findings[0].rule == "LINT015"
+
+    def test_positive_model_write_inside_obs_guard(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self):
+                session = obs_runtime.active()
+                tracer = session.tracer
+                trace_on = tracer.enabled
+                if trace_on:
+                    self.cycles = 0
+        """
+        findings = findings_for(src, MODEL_PATH, "LINT015")
+        assert [f.rule for f in findings] == ["LINT015"]
+        assert "observability-enabled branch" in findings[0].message
+
+    def test_positive_guard_born_value_escapes_into_state(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self):
+                session = obs_runtime.active()
+                trace_on = session.tracer.enabled
+                extra = 0
+                if trace_on:
+                    extra = 1
+                self.bias = extra
+        """
+        # ``extra`` is re-bound under the guard, so its post-guard kind
+        # is guarded and storing it into model state is a finding.
+        findings = findings_for(src, MODEL_PATH, "LINT015")
+        assert [f.rule for f in findings] == ["LINT015"]
+
+    def test_negative_emission_under_guard(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self, count):
+                session = obs_runtime.active()
+                tracer = session.tracer
+                trace_on = tracer.enabled
+                if trace_on:
+                    tracer.event("step", count=count)
+        """
+        assert rule_ids(src, MODEL_PATH, "LINT015") == []
+
+    def test_negative_span_handle_storage_and_none_test(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def run(self, work):
+                session = obs_runtime.active()
+                tracer = session.tracer
+                span = None
+                if tracer.enabled:
+                    span = tracer.span("corun")
+                result = work + 1
+                if span is not None:
+                    span.finish(1.0)
+                return result
+        """
+        assert rule_ids(src, MODEL_PATH, "LINT015") == []
+
+    def test_negative_model_values_flowing_into_obs(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self, served):
+                session = obs_runtime.active()
+                metrics = session.metrics
+                if metrics.enabled:
+                    metrics.counter("dram.served").inc(served)
+                return served * 2
+        """
+        assert rule_ids(src, MODEL_PATH, "LINT015") == []
+
+    def test_negative_pure_builtin_under_guard(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        class Engine:
+            def step(self, rows):
+                session = obs_runtime.active()
+                if session.tracer.enabled:
+                    count = len(rows)
+                    session.tracer.event("rows", n=count)
+                return sum(rows)
+        """
+        assert rule_ids(src, MODEL_PATH, "LINT015") == []
+
+    def test_negative_module_without_obs_imports(self):
+        src = """
+        class Engine:
+            def step(self, session):
+                self.t0 = session.harness_time()
+        """
+        assert rule_ids(src, MODEL_PATH, "LINT015") == []
+
+    def test_out_of_scope_harness_code_is_exempt(self):
+        src = """
+        from repro.obs import runtime as obs_runtime
+
+        def collect():
+            session = obs_runtime.active()
+            return session.metrics.snapshot()
+        """
+        # experiments/ ships snapshots by design; only model dirs are
+        # in scope.
+        assert (
+            rule_ids(src, "src/repro/experiments/fake.py", "LINT015")
+            == []
+        )
+
+
+class TestLint016ForkSafety:
+    def test_positive_global_write_in_submitted_function(self):
+        src = """
+        _RESULTS = []
+
+        def work(x):
+            _RESULTS.append(x)
+
+        def boot(pool):
+            pool.submit(work, 1)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT016")
+        assert [f.rule for f in findings] == ["LINT016"]
+        assert "_RESULTS" in findings[0].message
+
+    def test_positive_global_write_two_calls_deep(self):
+        src = """
+        _COUNTS = {}
+
+        def leaf(k):
+            _COUNTS[k] = 1
+
+        def work(x):
+            leaf(x)
+
+        def boot(pool):
+            pool.submit(work, 1)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT016")
+        assert [f.rule for f in findings] == ["LINT016"]
+        assert "_COUNTS" in findings[0].message
+
+    def test_positive_job_run_mutating_self(self):
+        src = """
+        class FitJob:
+            def run(self):
+                self.result = 42
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT016")
+        assert [f.rule for f in findings] == ["LINT016"]
+        assert "pickled copy" in findings[0].message
+
+    def test_positive_declaration_typo(self):
+        src = """
+        _CACHE = {}
+        _PROCESS_LOCAL_STATE = ("_CACHEE",)
+        """
+        findings = findings_for(src, JOBS_PATH, "LINT016")
+        assert [f.rule for f in findings] == ["LINT016"]
+        assert "typo" in findings[0].message
+
+    def test_negative_declared_process_local_state(self):
+        src = """
+        _CACHE = {}
+
+        _PROCESS_LOCAL_STATE = ("_CACHE",)
+
+        def work(x):
+            _CACHE[x] = 1
+
+        def boot(pool):
+            pool.submit(work, 1)
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT016") == []
+
+    def test_negative_coordinator_only_global_write(self):
+        src = """
+        _POOL = None
+
+        def get_pool():
+            global _POOL
+            _POOL = object()
+            return _POOL
+        """
+        # No worker entry point reaches get_pool(): the singleton is
+        # coordinator-side state.
+        assert rule_ids(src, JOBS_PATH, "LINT016") == []
+
+    def test_negative_job_returning_results(self):
+        src = """
+        def compute(a):
+            return a * 2
+
+        class CleanJob:
+            a: int
+
+            def run(self):
+                return compute(self.a)
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT016") == []
+
+    def test_negative_initializer_writing_declared_global(self):
+        src = """
+        _WARM = {}
+
+        _PROCESS_LOCAL_STATE = ("_WARM",)
+
+        def warm():
+            _WARM["ready"] = True
+
+        def boot(ctx):
+            ctx.Pool(initializer=warm)
+        """
+        assert rule_ids(src, JOBS_PATH, "LINT016") == []
+
+
+class TestAcceptanceSignatureDeletion:
+    """The headline guarantee: weakening a real cache key fails the lint."""
+
+    def _jobs_source(self) -> str:
+        from pathlib import Path
+
+        import repro.perf.jobs as jobs
+
+        return Path(jobs.__file__).read_text(encoding="utf-8")
+
+    def test_shipped_jobs_module_is_clean(self):
+        source = self._jobs_source()
+        findings = lint_source(
+            source, path="src/repro/perf/jobs.py", rule_ids=["LINT014"]
+        )
+        assert findings == []
+
+    def test_deleting_a_signature_field_is_caught(self):
+        source = self._jobs_source()
+        assert "self.pu_name,\n" in source
+        # Drop exactly the pu_name line from PressureSweepJob.signature().
+        broken = source.replace("                self.pu_name,\n", "", 1)
+        assert broken != source
+        findings = lint_source(
+            broken, path="src/repro/perf/jobs.py", rule_ids=["LINT014"]
+        )
+        assert [f.rule for f in findings] == ["LINT014"]
+        assert "'pu_name'" in findings[0].message
+        assert "PressureSweepJob" in findings[0].message

@@ -106,3 +106,82 @@ class TestFlowRuleReporting:
         assert "stored into model state" in text
         assert "parallel_map process boundary" in text
         assert "unit mismatch" in text
+
+
+class TestSarifReport:
+    def _doc(self, findings):
+        from repro.lint.report import render_sarif
+
+        return json.loads(render_sarif(findings))
+
+    def test_envelope_and_version(self):
+        doc = self._doc([])
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        assert len(doc["runs"]) == 1
+        assert doc["runs"][0]["results"] == []
+
+    def test_driver_describes_every_registered_rule(self):
+        from repro.lint.rules import ALL_RULE_IDS
+
+        driver = self._doc([])["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "pccs-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == list(ALL_RULE_IDS)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+
+    def test_result_location_is_one_based(self):
+        finding = Finding("src\\repro\\core\\x.py", 7, 4, "LINT005", "msg")
+        result = self._doc([finding])["runs"][0]["results"][0]
+        assert result["ruleId"] == "LINT005"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 7
+        # Finding.col is a 0-based AST offset; SARIF is 1-based.
+        assert region["startColumn"] == 5
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert "\\" not in uri
+
+    def test_rule_index_matches_driver_order(self):
+        findings = sample_findings()
+        doc = self._doc(findings)
+        driver = doc["runs"][0]["tool"]["driver"]
+        for result in doc["runs"][0]["results"]:
+            idx = result["ruleIndex"]
+            assert driver["rules"][idx]["id"] == result["ruleId"]
+
+    def test_deterministic_rendering(self):
+        from repro.lint.report import render_sarif
+
+        assert render_sarif(sample_findings()) == render_sarif(
+            sample_findings()
+        )
+
+
+class TestExplain:
+    def test_every_rule_has_explain_text(self):
+        from repro.lint.rules import ALL_RULE_IDS, explain_rule
+
+        for rule_id in ALL_RULE_IDS:
+            text = explain_rule(rule_id)
+            assert text.startswith(rule_id)
+            assert "Scope:" in text
+
+    def test_new_rules_document_the_contract(self):
+        from repro.lint.rules import explain_rule
+
+        assert "SIGNATURE_INERT" in explain_rule("LINT014")
+        assert "byte-identical" in explain_rule("LINT015")
+        assert "_PROCESS_LOCAL_STATE" in explain_rule("LINT016")
+
+    def test_unknown_rule_raises(self):
+        from repro.errors import LintError
+        from repro.lint.rules import explain_rule
+
+        import pytest
+
+        with pytest.raises(LintError):
+            explain_rule("LINT999")
