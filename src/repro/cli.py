@@ -8,6 +8,7 @@ Commands
 - ``predict`` — predict co-run relative speed for (demand, external).
 - ``experiment`` — run paper experiments (delegates to the runner).
 - ``lint`` — run the simulator-invariant checker (``repro.lint``).
+- ``graph`` — emit the module import graph (DOT or JSON).
 """
 
 from __future__ import annotations
@@ -217,7 +218,37 @@ def _cmd_lint(args) -> int:
             for part in chunk.split(",")
             if part.strip()
         ]
+    if args.write_api_surface:
+        from repro.lint.apisurface import extract_surface, render_surface
+
+        try:
+            sources = [
+                (str(f), f.read_text(encoding="utf-8"))
+                for f in iter_python_files(paths)
+            ]
+        except OSError as exc:
+            print(f"pccs lint: error: {exc}", file=sys.stderr)
+            return 2
+        surface = extract_surface(sources)
+        target = Path(args.write_api_surface)
+        try:
+            target.write_text(render_surface(surface), encoding="utf-8")
+        except OSError as exc:
+            print(
+                f"pccs lint: error: cannot write {target}: {exc} "
+                "(note: --write-api-surface takes an optional FILE — "
+                "put lint paths before the flag)",
+                file=sys.stderr,
+            )
+            return 2
+        recorded = len(surface["modules"])
+        print(
+            f"api-surface: recorded {recorded} module(s) "
+            f"to {args.write_api_surface}"
+        )
+        return 0
     cache = LintCache(Path(CACHE_DIR_NAME)) if args.cache else None
+    profile = {} if args.profile else None
     try:
         if args.changed_only:
             interprocedural = needs_whole_program(rule_ids)
@@ -243,7 +274,9 @@ def _cmd_lint(args) -> int:
                 files = restrict_to_paths(changed, paths)
         else:
             files = list(iter_python_files(paths))
-        findings = lint_files(files, rule_ids=rule_ids, cache=cache)
+        findings = lint_files(
+            files, rule_ids=rule_ids, cache=cache, profile=profile
+        )
         if args.write_baseline:
             target = Path(args.write_baseline)
             if target.is_file():
@@ -286,12 +319,70 @@ def _cmd_lint(args) -> int:
         "sarif": render_sarif,
     }.get(args.format, render_text)
     print(renderer(findings))
+    if profile is not None:
+        table = TextTable(
+            ["rule", "seconds"], title="pccs lint --profile"
+        )
+        for rule_id, seconds in sorted(
+            profile.items(), key=lambda item: (-item[1], item[0])
+        ):
+            table.add_row([rule_id, f"{seconds:.4f}"])
+        total = sum(profile.values())
+        table.add_row(["total", f"{total:.4f}"])
+        print(table.render(), file=sys.stderr)
     if cache is not None:
         print(
             f"cache: {cache.hits} hit(s), {cache.misses} miss(es)",
             file=sys.stderr,
         )
     return 1 if findings else 0
+
+
+def _cmd_graph(args) -> int:
+    import json
+
+    from repro.errors import LintError
+    from repro.lint.engine import iter_python_files
+    from repro.lint.importgraph import (
+        build_import_graph,
+        find_contract,
+        load_contract,
+        to_dot,
+        to_json_payload,
+    )
+
+    paths = args.paths or [_default_lint_root()]
+    try:
+        files = list(iter_python_files(paths))
+        sources = [
+            (str(f), f.read_text(encoding="utf-8")) for f in files
+        ]
+        contract = None
+        if files:
+            contract_path = find_contract(files[0].resolve().parent)
+            if contract_path is not None:
+                contract = load_contract(contract_path)
+        graph = build_import_graph(sources)
+    except (LintError, OSError) as exc:
+        print(f"pccs graph: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        text = (
+            json.dumps(
+                to_json_payload(graph, contract),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    else:
+        text = to_dot(graph, contract, modules=args.modules)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"graph: wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _default_lint_root() -> str:
@@ -481,7 +572,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record current findings as the accepted baseline and exit",
     )
+    p.add_argument(
+        "--write-api-surface",
+        nargs="?",
+        const="api-surface.json",
+        default=None,
+        metavar="FILE",
+        dest="write_api_surface",
+        help=(
+            "record the public API surface (module/function/method "
+            "signatures) for the LINT020 ratchet and exit "
+            "(default FILE: api-surface.json)"
+        ),
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-rule wall time to stderr after linting",
+    )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "graph",
+        help="emit the module import graph (DOT or JSON)",
+        description=(
+            "Builds the import graph LINT017 checks and prints it: "
+            "Graphviz DOT by default (package granularity, layers as "
+            "clusters, allow-listed edges highlighted), or JSON with "
+            "--json. Module-granularity DOT with --modules."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to graph (default: the repro package)",
+    )
+    p.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz DOT (the default)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the graph as JSON instead of DOT",
+    )
+    p.add_argument(
+        "--modules",
+        action="store_true",
+        help="module-granularity DOT (default: package granularity)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    p.set_defaults(func=_cmd_graph)
     return parser
 
 

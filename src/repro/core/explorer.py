@@ -85,9 +85,6 @@ class DesignSelection:
         raise PredictionError(f"no point at design value {value}")
 
 
-FrequencySelection = DesignSelection
-
-
 class DesignExplorer:
     """Shared machinery for single-parameter design sweeps.
 

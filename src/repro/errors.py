@@ -64,6 +64,16 @@ class AnalysisError(ReproError, ValueError):
     """
 
 
+class UnknownKeyError(ReproError, KeyError):
+    """A registry lookup (runner, workload, PU, figure) missed.
+
+    Also derives :class:`KeyError` so callers with idiomatic
+    ``except KeyError`` around dict-style lookups keep working. Note
+    ``str()`` of a ``KeyError`` quotes its argument; messages here are
+    full sentences, so renderers should prefer ``exc.args[0]``.
+    """
+
+
 class LintError(ReproError):
     """The static-analysis pass was misused (unknown rule, bad path)."""
 

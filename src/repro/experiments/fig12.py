@@ -17,6 +17,7 @@ from repro.analysis.errors import mean_abs_error
 from repro.analysis.series import Series, render_series
 from repro.analysis.tables import TextTable, fmt
 from repro.core.multiphase import phase_inputs_from_profile, predict_multiphase
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     engine_for,
     gables_model_for,
@@ -68,7 +69,7 @@ class Fig12Result:
         for n in self.networks:
             if n.model_name == name:
                 return n
-        raise KeyError(name)
+        raise UnknownKeyError(name)
 
     def render(self) -> str:
         table = TextTable(

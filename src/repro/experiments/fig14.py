@@ -14,6 +14,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.tables import TextTable, fmt
 from repro.baselines.gables import GablesModel
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     all_pccs_models,
     engine_for,
@@ -67,7 +68,7 @@ class Fig14Result:
         for w in self.workloads:
             if w.workload_name == name:
                 return w
-        raise KeyError(name)
+        raise UnknownKeyError(name)
 
     def render(self) -> str:
         blocks = []

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.analysis.series import Series, render_series
+from repro.errors import UnknownKeyError
 from repro.experiments.common import engine_for
 from repro.profiling.pressure import sweep_pressure
 from repro.workloads.roofline import max_demand_kernel, pressure_levels
@@ -32,7 +33,7 @@ class Fig2Result:
         for name, demand in self.demands:
             if name == pu_name:
                 return max(self.peak_bw - demand, 0.0)
-        raise KeyError(pu_name)
+        raise UnknownKeyError(pu_name)
 
     def render(self) -> str:
         header = (

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.series import Series, render_series
+from repro.errors import UnknownKeyError
 from repro.experiments.common import engine_for
 from repro.profiling.pressure import sweep_pressure
 from repro.workloads.roofline import calibrator_for_bandwidth, pressure_levels
@@ -35,7 +36,7 @@ class Fig3Result:
         for name, series in self.panels:
             if name == key:
                 return series
-        raise KeyError(key)
+        raise UnknownKeyError(key)
 
     def render(self) -> str:
         blocks = [

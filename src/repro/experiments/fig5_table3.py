@@ -22,6 +22,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.analysis.series import Series, render_series
 from repro.analysis.tables import TextTable, fmt, fmt_pct
 from repro.dram.system import CMPSystem
+from repro.errors import UnknownKeyError
 
 POLICIES: Tuple[str, ...] = ("fcfs", "frfcfs", "atlas", "tcm", "sms")
 _GROUP_CORES = 8
@@ -48,13 +49,13 @@ class Fig5Table3Result:
         for name, series in self.curves:
             if name == policy:
                 return series
-        raise KeyError(policy)
+        raise UnknownKeyError(policy)
 
     def policy_stats(self, policy: str) -> PolicyStats:
         for s in self.stats:
             if s.policy == policy:
                 return s
-        raise KeyError(policy)
+        raise UnknownKeyError(policy)
 
     def render(self) -> str:
         blocks = [

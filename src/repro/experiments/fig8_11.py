@@ -20,6 +20,7 @@ from repro.analysis.errors import mean_abs_error
 from repro.analysis.series import Series, render_series
 from repro.analysis.tables import TextTable, fmt
 from repro.core.multiphase import phase_inputs_from_profile, predict_multiphase
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     engine_for,
     gables_model_for,
@@ -88,7 +89,7 @@ class RodiniaValidationResult:
         for b in self.benchmarks:
             if b.benchmark == name:
                 return b
-        raise KeyError(name)
+        raise UnknownKeyError(name)
 
     def render(self) -> str:
         table = TextTable(

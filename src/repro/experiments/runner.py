@@ -15,6 +15,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict
 
+from repro.errors import UnknownKeyError
 from repro.experiments.config_tables import run_config_tables
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -59,7 +60,7 @@ def get_runner(name: str) -> Callable[[], object]:
     """Look up an experiment runner, with the canonical unknown-name error."""
     runner = EXPERIMENTS.get(name)
     if runner is None:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown experiment {name!r}; available: "
             f"{', '.join(sorted(EXPERIMENTS))}"
         )

@@ -22,6 +22,7 @@ from repro.analysis.tables import TextTable, fmt
 from repro.baselines.bubbleup import BubbleUpModel
 from repro.baselines.gables import GablesModel
 from repro.baselines.proportional import ProportionalShareModel
+from repro.errors import UnknownKeyError
 from repro.experiments.common import engine_for, pccs_model_for
 from repro.profiling.pressure import sweep_pressure
 from repro.soc.spec import PUType
@@ -61,7 +62,7 @@ class Table10Result:
         for r in self.rows:
             if r.name == name:
                 return r
-        raise KeyError(name)
+        raise UnknownKeyError(name)
 
     def render(self) -> str:
         table = TextTable(

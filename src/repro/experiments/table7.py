@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 
 from repro.analysis.tables import TextTable, fmt
 from repro.core.parameters import PCCSParameters
+from repro.errors import UnknownKeyError
 from repro.experiments.common import engine_for, pccs_params_for
 
 PLATFORMS: Tuple[str, ...] = ("xavier-agx", "snapdragon-855")
@@ -29,7 +30,7 @@ class Table7Result:
         for soc, pu, p in self.entries:
             if soc == soc_name and pu == pu_name:
                 return p
-        raise KeyError((soc_name, pu_name))
+        raise UnknownKeyError((soc_name, pu_name))
 
     def render(self) -> str:
         table = TextTable(

@@ -17,7 +17,8 @@ from typing import Dict, Sequence, Tuple
 
 from repro.analysis.series import Series, render_series
 from repro.analysis.tables import TextTable, fmt
-from repro.core.explorer import FrequencyExplorer, FrequencySelection
+from repro.core.explorer import FrequencyExplorer
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     engine_for,
     gables_model_for,
@@ -75,7 +76,7 @@ class Table9Fig15Result:
         for c in self.cells:
             if c.budget == budget and c.external_bw == external_bw:
                 return c
-        raise KeyError((budget, external_bw))
+        raise UnknownKeyError((budget, external_bw))
 
     def average_error(self, model: str) -> float:
         errors = [

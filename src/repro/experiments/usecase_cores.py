@@ -16,6 +16,7 @@ from typing import Sequence, Tuple
 
 from repro.analysis.tables import TextTable, fmt
 from repro.core.explorer import CoreCountExplorer
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     engine_for,
     gables_model_for,
@@ -58,7 +59,7 @@ class CoreUseCaseResult:
         for c in self.cells:
             if c.external_bw == external_bw:
                 return c
-        raise KeyError(external_bw)
+        raise UnknownKeyError(external_bw)
 
     @property
     def max_area_saving_vs_gables(self) -> float:

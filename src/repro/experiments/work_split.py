@@ -25,6 +25,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.analysis.series import Series, render_series
 from repro.analysis.tables import TextTable, fmt
+from repro.errors import UnknownKeyError
 from repro.experiments.common import (
     engine_for,
     gables_model_for,
@@ -59,7 +60,7 @@ class WorkSplitResult:
         for o in self.outcomes:
             if o.selector == selector:
                 return o
-        raise KeyError(selector)
+        raise UnknownKeyError(selector)
 
     def curve_error(self, family: str) -> float:
         """Mean |predicted - measured| makespan across the sweep (s)."""

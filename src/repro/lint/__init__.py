@@ -15,7 +15,14 @@ unpicklable values transitively reaching parallel jobs. The
 interprocedural pass (LINT014–016) links per-function effect
 summaries (:mod:`repro.lint.effects`) into a whole-program call graph
 to verify the cache-key completeness, observability-purity, and
-fork-safety contracts (see ``DESIGN.md`` §2.13).
+fork-safety contracts (see ``DESIGN.md`` §2.13). The module-graph
+pass (LINT017–020) builds the import graph
+(:mod:`repro.lint.importgraph`) and checks it against the repo's
+declared ``architecture.toml`` layer contract, finds code unreachable
+from the declared roots (:mod:`repro.lint.deadcode`), verifies that
+only :mod:`repro.errors` types escape the public/CLI boundary, and
+ratchets the recorded public API surface in ``api-surface.json``
+(:mod:`repro.lint.apisurface`; see ``DESIGN.md`` §2.14).
 
 Public surface:
 

@@ -1,0 +1,339 @@
+"""Public API surface extraction and the LINT020 ratchet.
+
+``pccs lint --write-api-surface`` records every public signature —
+top-level functions and public classes' public methods (plus
+``__init__``/``__call__``): parameter names, their kind (positional,
+keyword-only, ``*args``/``**kwargs``), and default expressions — into
+``api-surface.json``. LINT020 then compares the tree against the
+recording: any drift (changed signature, removed symbol, unrecorded new
+symbol) is a finding until the file is regenerated, making public API
+changes an explicit, reviewable act exactly like the findings baseline.
+
+Line numbers are deliberately *not* recorded: moving a function is not
+an API change. The rendering is byte-stable (sorted keys, fixed
+indentation, trailing newline) so CI can gate "regeneration produces no
+diff".
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.effects import module_name_for
+
+SURFACE_FILE_NAME = "api-surface.json"
+SURFACE_SCHEMA_VERSION = 1
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SPECIAL_METHODS = ("__init__", "__call__")
+
+ParamRecord = Dict[str, Optional[str]]
+FunctionRecord = Dict[str, List[ParamRecord]]
+
+
+def _param(
+    arg: ast.arg, kind: str, default: Optional[ast.expr]
+) -> ParamRecord:
+    return {
+        "name": arg.arg,
+        "kind": kind,
+        "default": None if default is None else ast.unparse(default),
+    }
+
+
+def function_record(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> FunctionRecord:
+    """Signature record: names, kinds, kw-only-ness, default sources."""
+    args = node.args
+    params: List[ParamRecord] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults: List[Optional[ast.expr]] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    for arg, default in zip(positional, defaults):
+        kind = (
+            "positional-only"
+            if arg in args.posonlyargs
+            else "positional"
+        )
+        params.append(_param(arg, kind, default))
+    if args.vararg is not None:
+        params.append(_param(args.vararg, "vararg", None))
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        params.append(_param(arg, "keyword-only", kw_default))
+    if args.kwarg is not None:
+        params.append(_param(args.kwarg, "kwarg", None))
+    return {"params": params}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def module_surface(tree: ast.Module) -> Dict[str, object]:
+    """Public functions and classes of one parsed module."""
+    functions: Dict[str, FunctionRecord] = {}
+    classes: Dict[str, Dict[str, object]] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, _FUNCTION_NODES) and _is_public(stmt.name):
+            functions[stmt.name] = function_record(stmt)
+        elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+            methods: Dict[str, FunctionRecord] = {}
+            for member in stmt.body:
+                if isinstance(member, _FUNCTION_NODES) and (
+                    _is_public(member.name)
+                    or member.name in _SPECIAL_METHODS
+                ):
+                    methods[member.name] = function_record(member)
+            classes[stmt.name] = {"methods": methods}
+    return {"functions": functions, "classes": classes}
+
+
+def extract_surface(
+    sources: Sequence[Tuple[str, str]]
+) -> Dict[str, object]:
+    """Whole-tree surface over ``(path, source)`` pairs.
+
+    Private modules (any dotted segment starting with ``_``) are
+    skipped — they never carry public API.
+    """
+    modules: Dict[str, object] = {}
+    for path, source in sources:
+        name = module_name_for(path)
+        if name in modules:
+            continue
+        if any(part.startswith("_") for part in name.split(".")):
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        modules[name] = module_surface(tree)
+    return {"version": SURFACE_SCHEMA_VERSION, "modules": modules}
+
+
+def render_surface(surface: Dict[str, object]) -> str:
+    """Byte-stable rendering (the CI no-diff gate depends on this)."""
+    return json.dumps(surface, indent=2, sort_keys=True) + "\n"
+
+
+def load_surface(path: Path) -> Dict[str, object]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"{path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != SURFACE_SCHEMA_VERSION
+        or not isinstance(payload.get("modules"), dict)
+    ):
+        raise LintError(
+            f"{path} is not an api-surface recording (schema "
+            f"{SURFACE_SCHEMA_VERSION}); regenerate it with "
+            "pccs lint --write-api-surface"
+        )
+    return payload
+
+
+def find_surface(start: Path) -> Optional[Path]:
+    """Nearest ``api-surface.json`` at or above ``start``."""
+    current = start if start.is_dir() else start.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / SURFACE_FILE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def format_params(record: object) -> str:
+    """Human signature text for drift messages: ``(a, b=1, *, c)``."""
+    if not isinstance(record, dict):
+        return "(?)"
+    params = record.get("params")
+    if not isinstance(params, list):
+        return "(?)"
+    parts: List[str] = []
+    seen_kwonly_marker = False
+    for param in params:
+        if not isinstance(param, dict):
+            continue
+        name = str(param.get("name"))
+        kind = param.get("kind")
+        default = param.get("default")
+        if kind == "keyword-only" and not seen_kwonly_marker:
+            if not any(p.get("kind") == "vararg" for p in params):
+                parts.append("*")
+            seen_kwonly_marker = True
+        if kind == "vararg":
+            parts.append(f"*{name}")
+        elif kind == "kwarg":
+            parts.append(f"**{name}")
+        elif default is not None:
+            parts.append(f"{name}={default}")
+        else:
+            parts.append(name)
+    return "(" + ", ".join(parts) + ")"
+
+
+def _regen_hint() -> str:
+    return (
+        "regenerate the recording (pccs lint --write-api-surface) if "
+        "the change is intended"
+    )
+
+
+def compare_module(
+    module: str,
+    tree: ast.Module,
+    recorded_modules: Dict[str, object],
+) -> List[Tuple[int, str]]:
+    """(line, message) drift findings for one module vs the recording."""
+    if any(part.startswith("_") for part in module.split(".")):
+        return []
+    current = module_surface(tree)
+    recorded = recorded_modules.get(module)
+    out: List[Tuple[int, str]] = []
+    cur_functions = current["functions"]
+    cur_classes = current["classes"]
+    assert isinstance(cur_functions, dict)
+    assert isinstance(cur_classes, dict)
+    if recorded is None:
+        if cur_functions or cur_classes:
+            out.append(
+                (
+                    1,
+                    (
+                        f"module {module} has public API but is not "
+                        f"recorded in {SURFACE_FILE_NAME}; "
+                        + _regen_hint()
+                    ),
+                )
+            )
+        return out
+    if not isinstance(recorded, dict):
+        return [(1, f"corrupt {SURFACE_FILE_NAME} entry for {module}")]
+
+    def_lines: Dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+            def_lines[stmt.name] = stmt.lineno
+
+    rec_functions = recorded.get("functions")
+    rec_classes = recorded.get("classes")
+    rec_functions = rec_functions if isinstance(rec_functions, dict) else {}
+    rec_classes = rec_classes if isinstance(rec_classes, dict) else {}
+
+    for name in sorted(set(cur_functions) | set(rec_functions)):
+        line = def_lines.get(name, 1)
+        _compare_one(
+            f"{module}.", name, line, cur_functions, rec_functions, out
+        )
+    for name in sorted(set(cur_classes) | set(rec_classes)):
+        line = def_lines.get(name, 1)
+        if name not in cur_classes:
+            out.append(
+                (
+                    1,
+                    (
+                        f"public symbol {module}.{name} is recorded in "
+                        f"{SURFACE_FILE_NAME} but no longer exists; "
+                        + _regen_hint()
+                    ),
+                )
+            )
+            continue
+        if name not in rec_classes:
+            out.append(
+                (
+                    line,
+                    (
+                        f"public symbol {module}.{name} is not recorded "
+                        f"in {SURFACE_FILE_NAME}; " + _regen_hint()
+                    ),
+                )
+            )
+            continue
+        cur_cls = cur_classes[name]
+        rec_cls = rec_classes[name]
+        cur_methods = (
+            cur_cls.get("methods") if isinstance(cur_cls, dict) else {}
+        )
+        rec_methods = (
+            rec_cls.get("methods") if isinstance(rec_cls, dict) else {}
+        )
+        cur_methods = cur_methods if isinstance(cur_methods, dict) else {}
+        rec_methods = rec_methods if isinstance(rec_methods, dict) else {}
+        for method in sorted(set(cur_methods) | set(rec_methods)):
+            _compare_one(
+                f"{module}.{name}.",
+                method,
+                line,
+                cur_methods,
+                rec_methods,
+                out,
+            )
+    return sorted(out)
+
+
+def _compare_one(
+    prefix: str,
+    name: str,
+    line: int,
+    current: Dict[str, object],
+    recorded: Dict[str, object],
+    out: List[Tuple[int, str]],
+) -> None:
+    qual = f"{prefix}{name}"
+    if name not in current:
+        out.append(
+            (
+                1,
+                (
+                    f"public symbol {qual} is recorded in "
+                    f"{SURFACE_FILE_NAME} but no longer exists; "
+                    + _regen_hint()
+                ),
+            )
+        )
+    elif name not in recorded:
+        out.append(
+            (
+                line,
+                (
+                    f"public symbol {qual} is not recorded in "
+                    f"{SURFACE_FILE_NAME}; " + _regen_hint()
+                ),
+            )
+        )
+    elif current[name] != recorded[name]:
+        out.append(
+            (
+                line,
+                (
+                    f"public signature drift: {qual}"
+                    f"{format_params(current[name])} was recorded as "
+                    f"{format_params(recorded[name])}; " + _regen_hint()
+                ),
+            )
+        )
+
+
+__all__ = [
+    "SURFACE_FILE_NAME",
+    "SURFACE_SCHEMA_VERSION",
+    "compare_module",
+    "extract_surface",
+    "find_surface",
+    "format_params",
+    "function_record",
+    "load_surface",
+    "module_surface",
+    "render_surface",
+]

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 if TYPE_CHECKING:
+    from repro.lint.arch import ArchContext
     from repro.lint.effects import Program
 
 
@@ -43,6 +44,15 @@ class FileContext:
     findings without it rather than guessing from one file.
     """
 
+    arch: Optional["ArchContext"] = None
+    """Module-graph context (:mod:`repro.lint.arch`).
+
+    Populated by the engine whenever a module-graph rule is selected:
+    the import graph over the linted sources plus whatever declarations
+    (``architecture.toml``, ``api-surface.json``) were discovered above
+    them. Module-graph checkers return no findings without it.
+    """
+
 
 Checker = Callable[[ast.Module, FileContext], List[Finding]]
 
@@ -62,6 +72,15 @@ class Rule:
     when any selected rule sets this, and ``--changed-only`` widens a
     git-scoped run back to the full paths for the same reason: a callee
     edit in one file can change findings reported in another.
+    """
+
+    module_graph: bool = False
+    """Findings depend on the module/import graph of the whole tree.
+
+    The engine builds an :class:`~repro.lint.arch.ArchContext` when any
+    selected rule sets this. Module-graph rules are whole-program for
+    ``--changed-only`` widening purposes too: deleting an import in one
+    file can orphan (or legitimize) a symbol in another.
     """
 
 

@@ -51,7 +51,7 @@ from typing import (
     Tuple,
 )
 
-EFFECTS_SCHEMA_VERSION = 1
+EFFECTS_SCHEMA_VERSION = 2
 
 #: Class-body declaration naming fields deliberately *excluded* from a
 #: Job's ``signature()`` (LINT014): fields that cannot change ``run()``
@@ -90,6 +90,68 @@ _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 #: canonical module name (summary labels are ``module.attr``).
 _ENV_MODULES: Tuple[str, ...] = ("os", "time", "random", "secrets", "uuid")
 
+#: Builtin exception -> parent class, for handler-absorption checks
+#: (``except LookupError:`` absorbs a raised ``KeyError``). Exception
+#: labels are ``"module:ClassName"`` or ``"builtin:ClassName"``.
+_BUILTIN_EXC_PARENT: Dict[str, Optional[str]] = {
+    "BaseException": None,
+    "Exception": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "UnboundLocalError": "NameError",
+    "OSError": "Exception",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "InterruptedError": "OSError",
+    "TimeoutError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "IndentationError": "SyntaxError",
+    "TabError": "IndentationError",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+}
+
+#: Labels that broad handlers cannot be assumed to absorb via a plain
+#: ``except Exception`` (they derive BaseException directly).
+_NON_EXCEPTION_LABELS = frozenset(
+    {
+        "builtin:KeyboardInterrupt",
+        "builtin:SystemExit",
+        "builtin:GeneratorExit",
+    }
+)
+
 
 # ----------------------------------------------------------------------
 # Summary records (all JSON-serializable)
@@ -111,6 +173,18 @@ class FunctionEffects:
     return_calls: Set[str] = field(default_factory=set)
     returns_obs: bool = False
     self_escapes: bool = False
+    raises: Dict[str, int] = field(default_factory=dict)
+    """Exception label -> line, for raises no local handler absorbs."""
+    call_sites: Dict[str, List[Tuple[int, Tuple[str, ...]]]] = field(
+        default_factory=dict
+    )
+    """Call ref -> (line, enclosing handler labels) per call site.
+
+    The handler labels are what could absorb an exception propagating
+    out of that call (``"*"`` = a bare/broad handler); the raise-set
+    fixpoint (LINT019) uses them to decide whether a callee's escapes
+    reach this function's callers.
+    """
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -127,6 +201,11 @@ class FunctionEffects:
             "return_calls": sorted(self.return_calls),
             "returns_obs": self.returns_obs,
             "self_escapes": self.self_escapes,
+            "raises": dict(sorted(self.raises.items())),
+            "call_sites": {
+                ref: [[line, sorted(labels)] for line, labels in sites]
+                for ref, sites in sorted(self.call_sites.items())
+            },
         }
 
     @classmethod
@@ -147,6 +226,16 @@ class FunctionEffects:
             return_calls=set(payload["return_calls"]),
             returns_obs=bool(payload["returns_obs"]),
             self_escapes=bool(payload["self_escapes"]),
+            raises={
+                str(k): int(v) for k, v in payload["raises"].items()
+            },
+            call_sites={
+                str(ref): [
+                    (int(line), tuple(str(lab) for lab in labels))
+                    for line, labels in sites
+                ]
+                for ref, sites in payload["call_sites"].items()
+            },
         )
 
 
@@ -161,6 +250,8 @@ class ClassEffects:
     inert_fields: Set[str] = field(default_factory=set)
     inert_line: Optional[int] = None
     signature_line: Optional[int] = None
+    bases: Tuple[str, ...] = ()
+    """Resolved base-class labels (exception-hierarchy queries)."""
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -171,6 +262,7 @@ class ClassEffects:
             "inert_fields": sorted(self.inert_fields),
             "inert_line": self.inert_line,
             "signature_line": self.signature_line,
+            "bases": list(self.bases),
         }
 
     @classmethod
@@ -183,6 +275,7 @@ class ClassEffects:
             inert_fields=set(payload["inert_fields"]),
             inert_line=payload["inert_line"],
             signature_line=payload["signature_line"],
+            bases=tuple(str(b) for b in payload["bases"]),
         )
 
 
@@ -199,6 +292,8 @@ class ModuleEffects:
     process_local: Set[str] = field(default_factory=set)
     process_local_line: Optional[int] = None
     entry_points: Set[str] = field(default_factory=set)
+    exports: Set[str] = field(default_factory=set)
+    """``__all__`` names (the declared public surface, when present)."""
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -216,6 +311,7 @@ class ModuleEffects:
             "process_local": sorted(self.process_local),
             "process_local_line": self.process_local_line,
             "entry_points": sorted(self.entry_points),
+            "exports": sorted(self.exports),
         }
 
     @classmethod
@@ -236,6 +332,7 @@ class ModuleEffects:
             process_local=set(payload["process_local"]),
             process_local_line=payload["process_local_line"],
             entry_points=set(payload["entry_points"]),
+            exports=set(payload["exports"]),
         )
 
 
@@ -560,6 +657,217 @@ def _env_escape_label(ref: str) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# Exception labels and handler absorption (LINT019)
+# ----------------------------------------------------------------------
+def _exception_label(
+    expr: ast.expr,
+    module_name: str,
+    imports: Mapping[str, str],
+    local_classes: Set[str],
+) -> Optional[str]:
+    """Canonical label for a raised or caught exception expression.
+
+    ``"builtin:Name"`` for builtin exception classes, ``"module:Class"``
+    for classes resolved locally or through imports, ``None`` when the
+    expression cannot be resolved — the raise-set analysis stays silent
+    on unresolvable raises rather than guess.
+    """
+    node = expr
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        name = node.id
+        if name in local_classes:
+            return f"{module_name}:{name}"
+        target = imports.get(name)
+        if target is not None:
+            if ":" in target:
+                mod, _, attr = target.partition(":")
+                return f"{mod}:{attr}"
+            return None  # a bare module object is not an exception
+        if name in _BUILTIN_EXC_PARENT:
+            return f"builtin:{name}"
+        return None
+    if isinstance(node, ast.Attribute):
+        chain: List[str] = []
+        root: ast.expr = node
+        while isinstance(root, ast.Attribute):
+            chain.append(root.attr)
+            root = root.value
+        chain.reverse()
+        if not isinstance(root, ast.Name):
+            return None
+        target = imports.get(root.id)
+        if target is None:
+            return None
+        base = target.replace(":", ".") if ":" in target else target
+        *packages, cls = chain
+        return ".".join([base, *packages]) + f":{cls}"
+    return None
+
+
+def _handler_absorbs(
+    handler: str,
+    label: str,
+    bases: Mapping[str, Tuple[str, ...]],
+) -> bool:
+    """Whether one handler label catches one raised label.
+
+    ``"*"`` is a broad handler (bare / ``Exception`` /
+    ``BaseException``) and absorbs everything except the
+    BaseException-derived control-flow exceptions. Otherwise the raised
+    class's ancestor chain — builtin parents plus every known class's
+    resolved bases — is searched for the handler.
+    """
+    if handler == "*":
+        return label not in _NON_EXCEPTION_LABELS
+    seen: Set[str] = set()
+    pending = [label]
+    while pending:
+        current = pending.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        if current == handler:
+            return True
+        kind, _, cls = current.partition(":")
+        if kind == "builtin":
+            parent = _BUILTIN_EXC_PARENT.get(cls)
+            if parent is not None:
+                pending.append(f"builtin:{parent}")
+        else:
+            pending.extend(bases.get(current, ()))
+    return False
+
+
+def _set_absorbs(
+    label: str,
+    handlers: Sequence[str],
+    bases: Mapping[str, Tuple[str, ...]],
+) -> bool:
+    return any(
+        _handler_absorbs(handler, label, bases) for handler in handlers
+    )
+
+
+class _RaiseScanner:
+    """Second pass over a function: unabsorbed raises, guarded calls.
+
+    Tracks, statement by statement, the labels of enclosing ``except``
+    handlers that could absorb an exception raised there. ``raise``
+    statements no enclosing handler absorbs land in ``fx.raises``;
+    every call site is recorded with its guard labels so the
+    program-level fixpoint can decide which callee escapes propagate
+    further. Reuses the primary scanner's name resolution (its locals
+    are already collected), so call refs use the identical encoding.
+    """
+
+    def __init__(
+        self,
+        scanner: _FunctionScanner,
+        module_name: str,
+        class_bases: Mapping[str, Tuple[str, ...]],
+    ) -> None:
+        self.scanner = scanner
+        self.fx = scanner.fx
+        self.module_name = module_name
+        self.imports = scanner.imports
+        self.local_classes = scanner.local_classes
+        self.class_bases = class_bases
+
+    def scan(self, node: ast.AST) -> None:
+        body = node.body if isinstance(node, _FUNCTION_NODES) else [node]
+        self._visit_stmts(body, ())
+
+    def _visit_stmts(
+        self, stmts: Sequence[ast.stmt], guards: Tuple[str, ...]
+    ) -> None:
+        for stmt in stmts:
+            self._visit(stmt, guards)
+
+    def _visit(self, node: ast.AST, guards: Tuple[str, ...]) -> None:
+        if isinstance(node, ast.ClassDef):
+            return  # class bodies are their own scope
+        if isinstance(node, ast.Try):
+            absorbing: List[str] = []
+            for handler in node.handlers:
+                if not self._handler_reraises(handler):
+                    absorbing.extend(self._handler_labels(handler))
+            # Only the try body is guarded: exceptions in the else,
+            # finally, or handler suites propagate past this statement.
+            self._visit_stmts(node.body, guards + tuple(absorbing))
+            for handler in node.handlers:
+                self._visit_stmts(handler.body, guards)
+            self._visit_stmts(node.orelse, guards)
+            self._visit_stmts(node.finalbody, guards)
+            return
+        if isinstance(node, ast.Raise):
+            self._record_raise(node, guards)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._visit(child, guards)
+            elif isinstance(child, ast.expr):
+                self._scan_expr(child, guards)
+
+    def _scan_expr(
+        self, expr: ast.expr, guards: Tuple[str, ...]
+    ) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                ref = self.scanner.call_ref(sub)
+                if ref is not None:
+                    self.fx.call_sites.setdefault(ref, []).append(
+                        (sub.lineno, guards)
+                    )
+
+    def _record_raise(
+        self, node: ast.Raise, guards: Tuple[str, ...]
+    ) -> None:
+        if node.exc is None:
+            return  # bare re-raise: the handler-absorption check owns it
+        label = _exception_label(
+            node.exc, self.module_name, self.imports, self.local_classes
+        )
+        if label is None:
+            return  # unresolvable: silence beats a guessed finding
+        if _set_absorbs(label, guards, self.class_bases):
+            return
+        self.fx.raises.setdefault(label, node.lineno)
+
+    def _handler_labels(self, handler: ast.ExceptHandler) -> List[str]:
+        if handler.type is None:
+            return ["*"]
+        exprs = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        labels: List[str] = []
+        for expr in exprs:
+            label = _exception_label(
+                expr, self.module_name, self.imports, self.local_classes
+            )
+            if label is None or label in (
+                "builtin:Exception",
+                "builtin:BaseException",
+            ):
+                # Unresolvable handlers absorb everything: a missed
+                # escape is safe, a phantom one is not.
+                labels.append("*")
+            else:
+                labels.append(label)
+        return labels
+
+    @staticmethod
+    def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+        """A handler with a bare ``raise`` does not absorb its label."""
+        return any(
+            isinstance(sub, ast.Raise) and sub.exc is None
+            for sub in ast.walk(handler)
+        )
+
+
+# ----------------------------------------------------------------------
 # Declarations (inert fields / process-local globals)
 # ----------------------------------------------------------------------
 def _string_elements(expr: ast.expr) -> Optional[Set[str]]:
@@ -698,6 +1006,22 @@ def analyze_module(
         tree.body, PROCESS_LOCAL_DECLARATION
     )
     module.entry_points = _entry_refs(tree)
+    module.exports, _ = _declaration_names(tree.body, "__all__")
+
+    class_bases: Dict[str, Tuple[str, ...]] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            resolved = [
+                label
+                for base in stmt.bases
+                if (
+                    label := _exception_label(
+                        base, name, imports, local_classes
+                    )
+                )
+                is not None
+            ]
+            class_bases[f"{name}:{stmt.name}"] = tuple(resolved)
 
     def add_function(
         node: ast.AST, qualname: str, class_name: Optional[str]
@@ -711,6 +1035,7 @@ def analyze_module(
             fx, module.module_globals, imports, local_funcs, local_classes
         )
         scanner.scan(node)
+        _RaiseScanner(scanner, name, class_bases).scan(node)
         fx.returns_obs = any(
             ref in fx.obs_calls for ref in fx.return_calls
         )
@@ -720,7 +1045,11 @@ def analyze_module(
         if isinstance(stmt, _FUNCTION_NODES):
             add_function(stmt, stmt.name, None)
         elif isinstance(stmt, ast.ClassDef):
-            info = ClassEffects(name=stmt.name, line=stmt.lineno)
+            info = ClassEffects(
+                name=stmt.name,
+                line=stmt.lineno,
+                bases=class_bases.get(f"{name}:{stmt.name}", ()),
+            )
             info.fields = _class_fields(stmt)
             info.inert_fields, info.inert_line = _declaration_names(
                 stmt.body, INERT_DECLARATION
@@ -817,6 +1146,10 @@ class Program:
         self._worker_reachable: Optional[FrozenSet[str]] = None
         self._impure: Optional[Dict[str, str]] = None
         self._obs_returning: Optional[FrozenSet[str]] = None
+        self._class_bases: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._escaped: Optional[
+            Dict[str, Dict[str, Tuple[int, str]]]
+        ] = None
 
     # -- identity ------------------------------------------------------
     def fingerprint(self) -> str:
@@ -1013,6 +1346,79 @@ class Program:
                             break
         self._impure = impure
         return impure
+
+    def class_bases(self) -> Dict[str, Tuple[str, ...]]:
+        """Program-wide ``module:Class`` -> resolved base labels."""
+        if self._class_bases is None:
+            out: Dict[str, Tuple[str, ...]] = {}
+            for mod_name, info in self.modules.items():
+                for cls_name, cls in info.classes.items():
+                    out[f"{mod_name}:{cls_name}"] = cls.bases
+            self._class_bases = out
+        return self._class_bases
+
+    def is_repro_error_label(self, label: str) -> bool:
+        """Whether a label is ReproError or one of its subclasses.
+
+        Any class defined in :mod:`repro.errors` qualifies directly —
+        the module *is* the sanctioned hierarchy — so subclasses of
+        e.g. ``ConfigError`` resolve even when ``repro.errors`` itself
+        is outside the linted file set.
+        """
+        bases = self.class_bases()
+        seen: Set[str] = set()
+        pending = [label]
+        while pending:
+            current = pending.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current.startswith("repro.errors:"):
+                return True
+            pending.extend(bases.get(current, ()))
+        return False
+
+    def escaped_raises(self) -> Dict[str, Dict[str, Tuple[int, str]]]:
+        """fid -> {label: (line, origin fid)} of escaping exceptions.
+
+        Seeds each function with its own unabsorbed raises, then
+        propagates callee escapes through call sites whose guard
+        labels do not absorb them, to a fixpoint. ``line`` is where
+        the exception enters this function (the raise, or the call it
+        propagates out of); ``origin`` is the function that raised.
+        """
+        if self._escaped is not None:
+            return self._escaped
+        bases = self.class_bases()
+        escaped: Dict[str, Dict[str, Tuple[int, str]]] = {}
+        for mod_name, info in self.modules.items():
+            for qualname, fx in info.functions.items():
+                escaped[f"{mod_name}:{qualname}"] = {
+                    label: (line, f"{mod_name}:{qualname}")
+                    for label, line in fx.raises.items()
+                }
+        changed = True
+        while changed:
+            changed = False
+            for mod_name, info in self.modules.items():
+                for qualname, fx in info.functions.items():
+                    mine = escaped[f"{mod_name}:{qualname}"]
+                    for ref, sites in fx.call_sites.items():
+                        for target in self.resolve_ref(mod_name, ref):
+                            for label, (_, origin) in escaped.get(
+                                target, {}
+                            ).items():
+                                if label in mine:
+                                    continue
+                                for site_line, guard in sites:
+                                    if not _set_absorbs(
+                                        label, guard, bases
+                                    ):
+                                        mine[label] = (site_line, origin)
+                                        changed = True
+                                        break
+        self._escaped = escaped
+        return escaped
 
     def obs_returning(self) -> FrozenSet[str]:
         """Functions that may return a value originating in repro.obs."""

@@ -23,6 +23,8 @@ from typing import (
 )
 
 from repro.errors import LintError
+from repro.lint.apisurface import compare_module
+from repro.lint.arch import ArchContext
 from repro.lint.base import Checker, FileContext, Finding, Rule
 from repro.lint.callgraph import (
     FunctionInfo,
@@ -1823,6 +1825,337 @@ def _check_fork_safety(tree: ast.Module, ctx: FileContext) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# LINT017 — layering contract and import cycles
+# ----------------------------------------------------------------------
+def _arch_module(ctx: FileContext) -> Optional[Tuple[ArchContext, str]]:
+    """This file's module name inside the engine-built arch context."""
+    arch = ctx.arch
+    if arch is None:
+        return None
+    module = arch.module_for_path(ctx.path)
+    if module is None:
+        return None
+    return arch, module
+
+
+def _check_layering(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    """Imports must follow the declared layer DAG, and never cycle.
+
+    **Why.** The repository's layering — core (units, errors) below
+    model (soc, dram, core, ...) below harness (experiments, analysis)
+    below infra and cli — is what keeps the model importable without
+    the harness and the simulator runnable without the CLI. That
+    contract lives in ``architecture.toml``: an ordered layer list, the
+    package each layer owns, and an explicit ``[[allow]]`` list for the
+    few deliberate upward edges (e.g. the guarded ``repro.soc`` →
+    ``repro.obs`` tracing hooks). Any other upward import, and any
+    import cycle, is a finding on the importing module. ``if
+    TYPE_CHECKING:`` imports are exempt everywhere (erased at runtime);
+    function-local imports are exempt from the *cycle* check only —
+    deferring an import breaks the cycle at import time but does not
+    change the architecture, so layering still applies.
+
+    **True positive.** ``repro.dram.bank`` importing
+    ``repro.experiments.runner`` (model reaching up into the harness);
+    two soc modules importing each other at module top level.
+
+    **True negative.** ``repro.experiments`` importing ``repro.soc``
+    (downward is always legal); a ``repro.soc`` → ``repro.obs`` import
+    covered by a declared ``[[allow]]`` entry; an ``if TYPE_CHECKING:``
+    import of a higher layer for annotations only.
+
+    **Suppression.** Add an ``[[allow]]`` entry with a written reason
+    to ``architecture.toml`` — reviewed declarations, not per-site
+    pragmas; the contract file is the single place the architecture
+    can be loosened. Without an ``architecture.toml`` above the linted
+    tree the rule is silent.
+    """
+    resolved = _arch_module(ctx)
+    if resolved is None:
+        return []
+    arch, module = resolved
+    if arch.contract is None:
+        return []
+    return sorted(
+        Finding(ctx.path, line, 0, "LINT017", message)
+        for line, message in arch.contract_findings().get(module, ())
+    )
+
+
+# ----------------------------------------------------------------------
+# LINT018 — dead code unreachable from any root
+# ----------------------------------------------------------------------
+def _check_dead_code(tree: ast.Module, ctx: FileContext) -> List[Finding]:
+    """Module-level symbols must be reachable from a declared root.
+
+    **Why.** A reproduction accretes experiment helpers; the ones no
+    figure, test, or CLI path references anymore are not harmless —
+    they rot silently (nothing executes them), mislead readers about
+    what the pipeline uses, and keep stale physics alive for the next
+    copy-paste. This rule builds a whole-tree symbol reference graph
+    and reports module-level functions, classes, and constants not
+    reachable from any root: module top-level code, ``__all__``
+    exports, ``__init__.py`` re-exports, decorated registrations, pool
+    worker entry points, the entry points named in
+    ``architecture.toml`` ``[deadcode]``, and every reference found in
+    the external root trees (``tests/``, ``benchmarks/``,
+    ``examples/``).
+
+    **True positive.** A ``_sweep_latency_grid()`` helper left behind
+    after the figure it fed was rewritten; a dataclass only ever
+    referenced by that helper (dead code keeping more dead code
+    alive).
+
+    **True negative.** A function exported via ``__all__`` or
+    re-exported by its package ``__init__``; a checker referenced only
+    by a registry table the CLI walks; a helper only tests call.
+
+    **Suppression.** Export the symbol deliberately (``__all__``) or
+    add its entry point to ``[deadcode] entry_points`` in
+    ``architecture.toml`` when it is reached from outside the tree
+    (console scripts, plugins); deleting it is usually the right fix.
+    A ``# lint: disable=LINT018`` pragma is only for symbols kept
+    intentionally as documented API examples. Without an
+    ``architecture.toml`` the rule is silent.
+    """
+    resolved = _arch_module(ctx)
+    if resolved is None:
+        return []
+    arch, module = resolved
+    if arch.deadcode is None:
+        return []
+    findings: List[Finding] = []
+    for info in arch.deadcode.unreachable_in(module):
+        findings.append(
+            Finding(
+                file=ctx.path,
+                line=info.line,
+                col=0,
+                rule="LINT018",
+                message=(
+                    f"{info.kind} {info.name!r} is unreachable from "
+                    "every root (CLI entry points, __all__ exports, "
+                    "tests/benchmarks/examples, worker entry points); "
+                    "delete it, or export it deliberately if it is "
+                    "public API"
+                ),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# LINT019 — exception discipline at the public boundary
+# ----------------------------------------------------------------------
+_ESCAPE_WHITELIST: FrozenSet[str] = frozenset(
+    {
+        "builtin:NotImplementedError",
+        "builtin:KeyboardInterrupt",
+        "builtin:SystemExit",
+        "builtin:StopIteration",
+        "builtin:GeneratorExit",
+        "builtin:AssertionError",
+    }
+)
+
+
+def _label_text(label: str) -> str:
+    kind, _, cls = label.partition(":")
+    return cls if kind == "builtin" else f"{kind}.{cls}"
+
+
+def _is_boundary_function(
+    module_name: str, qualname: str, is_cli: bool
+) -> bool:
+    """Whether escapes from this function cross the public boundary.
+
+    The boundary is the ``repro`` package's public surface: modules
+    outside it (test fixtures named by stem, scratch files) have no
+    public API this rule polices.
+    """
+    if module_name != "repro" and not module_name.startswith("repro."):
+        return False
+    if is_cli:
+        # Every top-level CLI function is operator-facing, private or
+        # not: an uncaught KeyError in a _cmd_* handler is a traceback
+        # on a terminal.
+        return "." not in qualname
+    if any(part.startswith("_") for part in module_name.split(".")):
+        return False
+    if "." in qualname:
+        cls, method = qualname.split(".", 1)
+        if cls.startswith("_"):
+            return False
+        return not method.startswith("_") or method in (
+            "__init__",
+            "__call__",
+        )
+    return not qualname.startswith("_")
+
+
+def _check_exception_flow(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    """Only ``repro.errors`` types may escape the public boundary.
+
+    **Why.** Callers of the public API — the CLI, tests, downstream
+    notebooks — handle failures by catching
+    :class:`repro.errors.ReproError`; a bare ``KeyError`` escaping
+    ``get_runner()`` bypasses every such handler and surfaces as a
+    traceback with no remediation hint. This rule propagates each
+    function's *unabsorbed* raise set through the whole-program call
+    graph (``try``/``except`` guards are tracked per call site, with
+    builtin and declared class hierarchies resolved) and reports any
+    public function or CLI entry point a non-``repro.errors`` exception
+    can escape. A small builtin whitelist stays legal:
+    ``NotImplementedError`` (abstract methods), ``AssertionError``
+    (invariants), ``StopIteration``/``GeneratorExit`` (iteration
+    protocol), ``KeyboardInterrupt``/``SystemExit`` (control flow that
+    must not be swallowed). Separately, an ``except:`` handler whose
+    body is only ``pass`` in soc/dram/core model code is flagged:
+    silently discarding a model-layer failure turns a wrong simulation
+    into a quiet one.
+
+    **True positive.** A public lookup helper raising
+    ``KeyError(name)`` for an unknown workload; a public ``run()``
+    calling two modules down into a helper that raises ``OSError``
+    with no ``except`` on the path; ``except Exception: pass`` around
+    a bank-state update in ``repro.dram``.
+
+    **True negative.** ``raise ConfigurationError(...)`` (a
+    :class:`~repro.errors.ReproError` subclass) from anywhere; a
+    ``KeyError`` raised in a private helper and absorbed by its public
+    caller's ``except KeyError:``; ``raise NotImplementedError`` in an
+    abstract method.
+
+    **Suppression.** Raise a :mod:`repro.errors` type (subclassing the
+    builtin too, as :class:`~repro.errors.UnknownKeyError` does with
+    ``KeyError``, keeps old ``except KeyError:`` callers working), or
+    absorb the builtin at the boundary. A ``# lint: disable=LINT019``
+    pragma is only for escapes the call graph over-approximates.
+    """
+    findings: List[Finding] = []
+    in_model_scope = any(
+        frag in ctx.norm_path for frag in _OBS_SCOPE_DIRS
+    )
+    if in_model_scope:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if len(handler.body) == 1 and isinstance(
+                    handler.body[0], ast.Pass
+                ):
+                    findings.append(
+                        Finding(
+                            file=ctx.path,
+                            line=handler.lineno,
+                            col=handler.col_offset,
+                            rule="LINT019",
+                            message=(
+                                "silent except-pass in model code "
+                                "discards a failure the simulation "
+                                "then mispredicts quietly; handle it, "
+                                "re-raise a repro.errors type, or at "
+                                "least record it via the obs layer"
+                            ),
+                        )
+                    )
+    resolved = _module_summary(ctx)
+    if resolved is None:
+        return sorted(findings)
+    program, module = resolved
+    escaped = program.escaped_raises()
+    is_cli = module.name == "repro.cli" or module.name.startswith(
+        "repro.cli."
+    )
+    for qualname in sorted(module.functions):
+        if not _is_boundary_function(module.name, qualname, is_cli):
+            continue
+        fx = module.functions[qualname]
+        labels = escaped.get(f"{module.name}:{qualname}", {})
+        for label in sorted(labels):
+            if label in _ESCAPE_WHITELIST:
+                continue
+            if program.is_repro_error_label(label):
+                continue
+            line, origin = labels[label]
+            origin_qual = origin.partition(":")[2]
+            raised_where = (
+                "raised here"
+                if origin == f"{module.name}:{qualname}"
+                else f"raised in {origin_qual}()"
+            )
+            findings.append(
+                Finding(
+                    file=ctx.path,
+                    line=line,
+                    col=0,
+                    rule="LINT019",
+                    message=(
+                        f"{_label_text(label)} ({raised_where}) can "
+                        f"escape {qualname}(), which is on the public "
+                        "boundary; callers handle ReproError — raise "
+                        "a repro.errors type or absorb the builtin "
+                        f"before {qualname}() returns"
+                    ),
+                )
+            )
+    return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# LINT020 — public API surface ratchet
+# ----------------------------------------------------------------------
+def _check_api_surface(
+    tree: ast.Module, ctx: FileContext
+) -> List[Finding]:
+    """Public signatures must match the recorded ``api-surface.json``.
+
+    **Why.** The public surface — every public function's and method's
+    parameter names, kinds, kw-only-ness, and defaults — is a contract
+    with downstream users that ordinary tests under-cover (a renamed
+    keyword breaks callers while every positional test still passes).
+    ``pccs lint --write-api-surface`` records the surface into
+    ``api-surface.json``; this rule re-extracts it on every lint and
+    reports any drift — changed signature, removed symbol, or public
+    symbol not yet recorded — until the recording is regenerated. Like
+    the findings baseline, the diff of the recording is where an API
+    change becomes explicit and reviewable; CI gates on regeneration
+    producing no diff.
+
+    **True positive.** Renaming a public function's keyword parameter
+    or deleting its default without regenerating; deleting a public
+    function that is still recorded; adding a new public class and
+    forgetting to record it.
+
+    **True negative.** Any change to ``_private`` helpers, private
+    modules, or function bodies; moving a recorded function within its
+    file (line numbers are not part of the surface); drift that has
+    been regenerated (the recording then matches again).
+
+    **Suppression.** Regenerate with ``pccs lint --write-api-surface``
+    — that *is* the approval step, so a pragma defeats the rule's
+    purpose. Rename the symbol to ``_private`` if it was never meant
+    to be public. Without an ``api-surface.json`` above the linted
+    tree the rule is silent.
+    """
+    arch = ctx.arch
+    if arch is None or arch.surface is None:
+        return []
+    module = arch.graph.module_for_path(ctx.path)
+    if module is None:
+        return []
+    recorded = arch.surface.get("modules")
+    if not isinstance(recorded, dict):
+        return []
+    return [
+        Finding(ctx.path, line, 0, "LINT020", message)
+        for line, message in compare_module(module, tree, recorded)
+    ]
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _RULES: Tuple[Rule, ...] = (
@@ -1900,6 +2233,30 @@ _RULES: Tuple[Rule, ...] = (
         _check_fork_safety,
         interprocedural=True,
     ),
+    Rule(
+        "LINT017",
+        "imports violating the declared layer DAG, and import cycles",
+        _check_layering,
+        module_graph=True,
+    ),
+    Rule(
+        "LINT018",
+        "module-level symbols unreachable from any declared root",
+        _check_dead_code,
+        module_graph=True,
+    ),
+    Rule(
+        "LINT019",
+        "non-repro.errors exceptions escaping the public/CLI boundary",
+        _check_exception_flow,
+        interprocedural=True,
+    ),
+    Rule(
+        "LINT020",
+        "public signature drift against the recorded api-surface.json",
+        _check_api_surface,
+        module_graph=True,
+    ),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
@@ -1913,6 +2270,17 @@ INTERPROCEDURAL_RULE_IDS: Tuple[str, ...] = tuple(
 ``--changed-only`` widens back to a whole-program run when any of
 these is selected, and the engine keys per-file cache entries on the
 whole-program fingerprint so a callee edit invalidates them.
+"""
+
+MODULE_GRAPH_RULE_IDS: Tuple[str, ...] = tuple(
+    rule.rule_id for rule in _RULES if rule.module_graph
+)
+"""Rules computed from the whole-tree module graph and declarations.
+
+Whole-program for ``--changed-only`` widening, like the
+interprocedural set; per-file cache entries are additionally keyed on
+the arch-context fingerprint (graph + ``architecture.toml`` +
+``api-surface.json`` + external root files).
 """
 
 
@@ -1936,12 +2304,19 @@ def explain_rule(rule_id: str) -> str:
         )
     doc = inspect.getdoc(rule.checker) or "(no documentation recorded)"
     header = f"{rule.rule_id} — {rule.summary}"
-    scope = (
-        "Scope: interprocedural (findings may depend on other files; "
-        "--changed-only widens to a whole-program run)."
-        if rule.interprocedural
-        else "Scope: single file."
-    )
+    if rule.module_graph:
+        scope = (
+            "Scope: module graph (whole-tree import/reachability "
+            "analysis plus declarations; --changed-only widens to a "
+            "whole-program run)."
+        )
+    elif rule.interprocedural:
+        scope = (
+            "Scope: interprocedural (findings may depend on other "
+            "files; --changed-only widens to a whole-program run)."
+        )
+    else:
+        scope = "Scope: single file."
     return f"{header}\n{'=' * len(header)}\n{scope}\n\n{doc}"
 
 

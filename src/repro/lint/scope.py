@@ -9,10 +9,11 @@ nothing:
 - when git is unavailable, the directory is not a repository, or the
   subprocess fails for any reason, callers receive ``None`` and fall
   back to a full lint;
-- when any **interprocedural** rule is selected
+- when any **interprocedural** or **module-graph** rule is selected
   (:func:`needs_whole_program`), the git scoping is skipped entirely —
   those rules read whole-program effect summaries
-  (:mod:`repro.lint.effects`), so an edit in a changed file can create
+  (:mod:`repro.lint.effects`) or the whole-tree import graph
+  (:mod:`repro.lint.arch`), so an edit in a changed file can create
   or fix findings in files git considers untouched. Linting only the
   diff would both miss new findings and report stale ones.
 """
@@ -77,12 +78,13 @@ def changed_python_files(cwd: Optional[Path] = None) -> Optional[List[Path]]:
 def needs_whole_program(
     rule_ids: Optional[Sequence[str]],
 ) -> Tuple[str, ...]:
-    """The selected interprocedural rules (empty = git scoping is sound).
+    """The selected whole-program rules (empty = git scoping is sound).
 
     ``--changed-only`` calls this before narrowing to git's changed
     files: a non-empty result means at least one selected rule
     (``None`` selects all) computes findings from whole-program effect
-    summaries, so the caller must lint the full requested paths. The
+    summaries or from the whole-tree module graph, so the caller must
+    lint the full requested paths. The
     returned ids let the CLI say *why* it widened. Unknown rule ids
     raise :class:`~repro.errors.LintError`, same as the engine would.
     """
@@ -91,7 +93,7 @@ def needs_whole_program(
     return tuple(
         rule.rule_id
         for rule in resolve_rules(rule_ids)
-        if rule.interprocedural
+        if rule.interprocedural or rule.module_graph
     )
 
 

@@ -26,11 +26,9 @@ index and label on both the serial and the pool path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.errors import JobFailedError, SimulationError
-
-T = TypeVar("T")
 
 _DEFAULT_MAX_WORKERS = 1
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.core.workflow import SlowdownModel, predict_placement
+from repro.errors import UnknownKeyError
 from repro.soc.engine import CoRunEngine
 from repro.workloads.kernel import KernelSpec
 
@@ -42,7 +43,7 @@ class WorkloadResult:
         for r in self.per_pu:
             if r.pu_name == pu_name:
                 return r
-        raise KeyError(pu_name)
+        raise UnknownKeyError(pu_name)
 
 
 def measure_workload(

@@ -47,25 +47,10 @@ from typing import Dict, Optional, Tuple
 from repro.errors import UnitsError
 
 GIGA = 1e9
-MEGA = 1e6
-KILO = 1e3
 
 # ----------------------------------------------------------------------
 # Machine-readable unit-tag declarations (consumed by LINT010)
 # ----------------------------------------------------------------------
-UNIT_TAGS: Tuple[str, ...] = (
-    "bytes",
-    "gb",
-    "gbps",
-    "bytes_per_s",
-    "seconds",
-    "ns",
-    "cycles",
-    "mhz",
-    "fraction",
-)
-"""Canonical dimensional tags; see the module docstring table."""
-
 UNIT_SUFFIXES: Dict[str, str] = {
     "_bytes": "bytes",
     "_gb": "gb",
@@ -106,13 +91,6 @@ UNIT_SIGNATURES: Dict[str, Tuple[Tuple[Optional[str], ...], Optional[str]]] = {
 ``None`` marks an untagged position. LINT010 flags calls whose argument
 tags conflict with the declared parameter tags (the double-conversion
 trap: ``bytes_to_gb(x_gb)``)."""
-
-SCALE_CONSTANTS: Dict[str, float] = {
-    "GIGA": GIGA,
-    "MEGA": MEGA,
-    "KILO": KILO,
-}
-"""Named scale factors recognized by the dimensional analyzer."""
 
 REL_TOL = 1e-9
 """Default relative tolerance for float comparisons (:func:`approx_eq`)."""

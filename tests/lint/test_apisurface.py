@@ -1,0 +1,159 @@
+"""Unit tests for the API-surface recorder/comparator (LINT020's core)."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint.apisurface import (
+    SURFACE_FILE_NAME,
+    compare_module,
+    extract_surface,
+    find_surface,
+    format_params,
+    function_record,
+    load_surface,
+    module_surface,
+    render_surface,
+)
+
+
+def tree_of(source: str) -> ast.Module:
+    return ast.parse(textwrap.dedent(source))
+
+
+def record_of(source: str):
+    tree = tree_of(source)
+    return function_record(tree.body[0])
+
+
+class TestRecords:
+    def test_positional_and_defaults(self):
+        record = record_of("def f(a, b=1):\n    pass\n")
+        assert [p["name"] for p in record["params"]] == ["a", "b"]
+        assert record["params"][1]["default"] == "1"
+
+    def test_vararg_kwonly_kwarg(self):
+        record = record_of("def f(a, *rest, flag=True, **kw):\n    pass\n")
+        kinds = [p["kind"] for p in record["params"]]
+        assert kinds == ["positional", "vararg", "keyword-only", "kwarg"]
+
+    def test_format_params_renders_signature(self):
+        record = record_of("def f(a, b=1, *, c):\n    pass\n")
+        assert format_params(record) == "(a, b=1, *, c)"
+
+    def test_module_surface_skips_private_names(self):
+        surface = module_surface(
+            tree_of(
+                """
+                def public(x):
+                    pass
+
+                def _private(x):
+                    pass
+
+                class Widget:
+                    def work(self):
+                        pass
+
+                    def _hidden(self):
+                        pass
+
+                    def __init__(self):
+                        pass
+
+                class _Internal:
+                    pass
+                """
+            )
+        )
+        assert set(surface["functions"]) == {"public"}
+        assert set(surface["classes"]) == {"Widget"}
+        assert set(surface["classes"]["Widget"]["methods"]) == {
+            "work",
+            "__init__",
+        }
+
+
+class TestExtractAndIo:
+    def test_extract_skips_private_modules(self):
+        surface = extract_surface(
+            [
+                ("src/repro/soc/a.py", "def f():\n    pass\n"),
+                ("src/repro/soc/_b.py", "def g():\n    pass\n"),
+            ]
+        )
+        assert set(surface["modules"]) == {"repro.soc.a"}
+
+    def test_render_is_byte_stable(self):
+        surface = extract_surface(
+            [("src/repro/soc/a.py", "def f(x):\n    pass\n")]
+        )
+        first = render_surface(surface)
+        second = render_surface(json.loads(first))
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_load_and_find_surface(self, tmp_path):
+        surface = extract_surface(
+            [("src/repro/soc/a.py", "def f():\n    pass\n")]
+        )
+        target = tmp_path / SURFACE_FILE_NAME
+        target.write_text(render_surface(surface))
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_surface(nested) == target
+        assert load_surface(target)["modules"] == surface["modules"]
+
+
+class TestCompare:
+    RECORDED = {
+        "repro.soc.a": {
+            "functions": {
+                "f": {
+                    "params": [
+                        {"name": "x", "kind": "positional", "default": None},
+                        {"name": "y", "kind": "positional", "default": "1"},
+                    ]
+                }
+            },
+            "classes": {},
+        }
+    }
+
+    def test_unchanged_signature_is_clean(self):
+        tree = tree_of("def f(x, y=1):\n    pass\n")
+        assert compare_module("repro.soc.a", tree, self.RECORDED) == []
+
+    def test_removed_param_is_drift(self):
+        tree = tree_of("def f(x):\n    pass\n")
+        findings = compare_module("repro.soc.a", tree, self.RECORDED)
+        assert len(findings) == 1
+        assert "signature drift" in findings[0][1]
+        assert "(x, y=1)" in findings[0][1]
+
+    def test_changed_default_is_drift(self):
+        tree = tree_of("def f(x, y=2):\n    pass\n")
+        findings = compare_module("repro.soc.a", tree, self.RECORDED)
+        assert len(findings) == 1
+
+    def test_removed_function_is_drift(self):
+        tree = tree_of("X = 1\n")
+        findings = compare_module("repro.soc.a", tree, self.RECORDED)
+        assert "no longer exists" in findings[0][1]
+
+    def test_new_unrecorded_function_is_drift(self):
+        tree = tree_of("def f(x, y=1):\n    pass\n\n\ndef g():\n    pass\n")
+        findings = compare_module("repro.soc.a", tree, self.RECORDED)
+        assert "is not recorded" in findings[0][1]
+
+    def test_unrecorded_module_with_public_api_is_drift(self):
+        tree = tree_of("def f():\n    pass\n")
+        findings = compare_module("repro.soc.new", tree, self.RECORDED)
+        assert "is not recorded" in findings[0][1]
+
+    def test_private_module_is_out_of_scope(self):
+        tree = tree_of("def f():\n    pass\n")
+        assert compare_module("repro.soc._new", tree, self.RECORDED) == []

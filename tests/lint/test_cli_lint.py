@@ -284,3 +284,156 @@ class TestExplainFlag:
     def test_explain_unknown_rule_exits_two(self, capsys):
         assert main(["lint", "--explain", "LINT999"]) == 2
         assert "unknown rule" in capsys.readouterr().err
+
+
+class TestModuleGraphWidening:
+    def test_module_graph_rules_widen_changed_only(
+        self, dirty_file, capsys
+    ):
+        # Module-graph rules (dead code, layering) are whole-program
+        # too: an edit elsewhere can orphan a symbol in an unchanged
+        # file, so git scoping must be abandoned for them as well.
+        assert (
+            main(
+                [
+                    "lint",
+                    "--changed-only",
+                    "--rules",
+                    "LINT018",
+                    str(dirty_file),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "widening to a full lint" in captured.err
+        assert "LINT018" in captured.err
+
+
+class TestProfileFlag:
+    def test_profile_prints_per_rule_seconds(self, dirty_file, capsys):
+        assert main(["lint", "--profile", str(dirty_file)]) == 1
+        captured = capsys.readouterr()
+        assert "pccs lint --profile" in captured.err
+        assert "LINT005" in captured.err
+        assert "total" in captured.err
+        # The findings themselves are unaffected.
+        assert "LINT005" in captured.out
+
+    def test_no_profile_no_table(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        assert "pccs lint --profile" not in capsys.readouterr().err
+
+
+class TestWriteApiSurface:
+    def test_round_trip_records_then_lints_clean(self, tmp_path, capsys):
+        src_dir = tmp_path / "src" / "repro" / "soc"
+        src_dir.mkdir(parents=True)
+        (src_dir / "a.py").write_text("def f(x, y=1):\n    return x\n")
+        surface = tmp_path / "api-surface.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path / "src"),
+                    "--write-api-surface",
+                    str(surface),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recorded 1 module(s)" in out
+        payload = json.loads(surface.read_text())
+        assert "repro.soc.a" in payload["modules"]
+        # The freshly recorded surface lints clean...
+        assert (
+            main(
+                [
+                    "lint",
+                    "--rules",
+                    "LINT020",
+                    str(tmp_path / "src"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # ...and a signature change drifts until regenerated.
+        (src_dir / "a.py").write_text("def f(x):\n    return x\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    "--rules",
+                    "LINT020",
+                    str(tmp_path / "src"),
+                ]
+            )
+            == 1
+        )
+        assert "signature drift" in capsys.readouterr().out
+
+    def test_directory_target_is_usage_error(self, tmp_path, capsys):
+        src_dir = tmp_path / "pkg"
+        src_dir.mkdir()
+        (src_dir / "a.py").write_text("X = 1\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    str(src_dir / "a.py"),
+                    "--write-api-surface",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestGraphCommand:
+    def write_fixture(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro" / "soc"
+        src_dir.mkdir(parents=True)
+        (src_dir / "a.py").write_text("import repro.soc.b\n")
+        (src_dir / "b.py").write_text("X = 1\n")
+        return tmp_path / "src"
+
+    def test_dot_is_the_default(self, tmp_path, capsys):
+        root = self.write_fixture(tmp_path)
+        assert main(["graph", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph imports")
+
+    def test_modules_flag_shows_module_edges(self, tmp_path, capsys):
+        root = self.write_fixture(tmp_path)
+        assert main(["graph", "--modules", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert '"repro.soc.a" -> "repro.soc.b"' in out
+
+    def test_json_payload(self, tmp_path, capsys):
+        root = self.write_fixture(tmp_path)
+        assert main(["graph", "--json", str(root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["modules"]) == {"repro.soc.a", "repro.soc.b"}
+        assert payload["cycles"] == []
+
+    def test_out_writes_a_file(self, tmp_path, capsys):
+        root = self.write_fixture(tmp_path)
+        target = tmp_path / "graph.dot"
+        assert main(["graph", str(root), "--out", str(target)]) == 0
+        assert "graph: wrote" in capsys.readouterr().out
+        assert target.read_text().startswith("digraph imports")
+
+    def test_missing_path_is_an_error(self, capsys):
+        assert main(["graph", "no/such/dir"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_repo_graph_includes_contract_layers(self, capsys):
+        # Against the installed package: the real architecture.toml is
+        # discovered and its layers become DOT clusters.
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster_core" in out
+        assert '"repro.lint"' in out

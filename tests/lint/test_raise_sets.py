@@ -1,0 +1,229 @@
+"""Unit tests for raise-set extraction and propagation (LINT019's core).
+
+``FunctionEffects.raises`` holds a function's own unabsorbed raises;
+``Program.escaped_raises()`` propagates callee escapes through call
+sites whose guards do not absorb them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.effects import analyze_module, build_program
+
+
+def analyze(source: str, path: str = "src/repro/soc/fix.py"):
+    return analyze_module(textwrap.dedent(source), path)
+
+
+def program_of(*named_sources):
+    return build_program(
+        [(path, textwrap.dedent(src)) for path, src in named_sources]
+    )
+
+
+def raises_of(source: str, qualname: str = "f"):
+    return analyze(source).functions[qualname].raises
+
+
+class TestOwnRaises:
+    def test_builtin_raise_recorded(self):
+        src = """
+        def f():
+            raise KeyError("missing")
+        """
+        assert set(raises_of(src)) == {"builtin:KeyError"}
+
+    def test_imported_exception_labelled_by_module(self):
+        src = """
+        from repro.errors import SimulationError
+
+        def f():
+            raise SimulationError("boom")
+        """
+        assert set(raises_of(src)) == {"repro.errors:SimulationError"}
+
+    def test_local_class_labelled_by_module(self):
+        src = """
+        class LocalError(Exception):
+            pass
+
+        def f():
+            raise LocalError()
+        """
+        fx = analyze(src)
+        assert set(fx.functions["f"].raises) == {"repro.soc.fix:LocalError"}
+
+    def test_bare_reraise_not_recorded(self):
+        src = """
+        def f(d, k):
+            try:
+                return d[k]
+            except KeyError:
+                raise
+        """
+        assert raises_of(src) == {}
+
+
+class TestAbsorption:
+    def test_matching_handler_absorbs(self):
+        src = """
+        def f():
+            try:
+                raise KeyError("x")
+            except KeyError:
+                return None
+        """
+        assert raises_of(src) == {}
+
+    def test_parent_class_handler_absorbs(self):
+        src = """
+        def f():
+            try:
+                raise KeyError("x")
+            except LookupError:
+                return None
+        """
+        assert raises_of(src) == {}
+
+    def test_except_exception_absorbs_ordinary_raises(self):
+        src = """
+        def f():
+            try:
+                raise KeyError("x")
+            except Exception:
+                return None
+        """
+        assert raises_of(src) == {}
+
+    def test_except_exception_does_not_absorb_systemexit(self):
+        src = """
+        def f():
+            try:
+                raise SystemExit(1)
+            except Exception:
+                return None
+        """
+        assert set(raises_of(src)) == {"builtin:SystemExit"}
+
+    def test_mismatched_handler_does_not_absorb(self):
+        src = """
+        def f():
+            try:
+                raise KeyError("x")
+            except ValueError:
+                return None
+        """
+        assert set(raises_of(src)) == {"builtin:KeyError"}
+
+    def test_reraising_handler_does_not_absorb(self):
+        src = """
+        def f():
+            try:
+                raise KeyError("x")
+            except KeyError:
+                raise
+        """
+        assert set(raises_of(src)) == {"builtin:KeyError"}
+
+    def test_handler_suite_raises_are_not_guarded_by_their_own_try(self):
+        src = """
+        def f():
+            try:
+                return 1
+            except ValueError:
+                raise KeyError("from handler")
+        """
+        assert set(raises_of(src)) == {"builtin:KeyError"}
+
+
+class TestPropagation:
+    def test_callee_raise_escapes_through_caller(self):
+        src = """
+        def _leaf():
+            raise KeyError("x")
+
+        def top():
+            return _leaf()
+        """
+        program = program_of(("src/repro/soc/fix.py", src))
+        escaped = program.escaped_raises()["repro.soc.fix:top"]
+        assert set(escaped) == {"builtin:KeyError"}
+        line, origin = escaped["builtin:KeyError"]
+        assert origin == "repro.soc.fix:_leaf"
+
+    def test_guarded_call_site_absorbs_the_escape(self):
+        src = """
+        def _leaf():
+            raise KeyError("x")
+
+        def top():
+            try:
+                return _leaf()
+            except KeyError:
+                return None
+        """
+        program = program_of(("src/repro/soc/fix.py", src))
+        assert program.escaped_raises()["repro.soc.fix:top"] == {}
+
+    def test_propagation_crosses_modules(self):
+        program = program_of(
+            (
+                "src/repro/soc/a.py",
+                """
+                from repro.soc.b import leaf
+
+                def top():
+                    return leaf()
+                """,
+            ),
+            (
+                "src/repro/soc/b.py",
+                """
+                def leaf():
+                    raise OSError("disk")
+                """,
+            ),
+        )
+        escaped = program.escaped_raises()["repro.soc.a:top"]
+        assert set(escaped) == {"builtin:OSError"}
+        assert escaped["builtin:OSError"][1] == "repro.soc.b:leaf"
+
+    def test_three_level_chain_reaches_a_fixpoint(self):
+        src = """
+        def _a():
+            raise ValueError("deep")
+
+        def _b():
+            return _a()
+
+        def top():
+            return _b()
+        """
+        program = program_of(("src/repro/soc/fix.py", src))
+        escaped = program.escaped_raises()["repro.soc.fix:top"]
+        assert set(escaped) == {"builtin:ValueError"}
+        assert escaped["builtin:ValueError"][1] == "repro.soc.fix:_a"
+
+
+class TestReproErrorLabels:
+    def test_direct_repro_errors_label_qualifies(self):
+        program = program_of(("src/repro/soc/fix.py", "X = 1\n"))
+        assert program.is_repro_error_label("repro.errors:SimulationError")
+
+    def test_subclass_of_repro_error_qualifies_through_bases(self):
+        src = """
+        from repro.errors import ConfigError
+
+        class MyError(ConfigError):
+            pass
+
+        def f():
+            raise MyError("x")
+        """
+        program = program_of(("src/repro/soc/fix.py", src))
+        assert program.is_repro_error_label("repro.soc.fix:MyError")
+
+    def test_plain_builtin_does_not_qualify(self):
+        program = program_of(("src/repro/soc/fix.py", "X = 1\n"))
+        assert not program.is_repro_error_label("builtin:KeyError")

@@ -389,21 +389,21 @@ class TestLint007BareRaises:
             if x < 0:
                 raise ValueError("negative")
         """
-        assert rule_ids(src) == ["LINT007"]
+        assert rule_ids(src, rules=["LINT007"]) == ["LINT007"]
 
     def test_positive_bare_exception(self):
         src = """
         def boom():
             raise Exception("bad")
         """
-        assert rule_ids(src) == ["LINT007"]
+        assert rule_ids(src, rules=["LINT007"]) == ["LINT007"]
 
     def test_positive_runtimeerror(self):
         src = """
         def boom():
             raise RuntimeError("bad state")
         """
-        assert rule_ids(src) == ["LINT007"]
+        assert rule_ids(src, rules=["LINT007"]) == ["LINT007"]
 
     def test_negative_repro_error(self):
         src = """
@@ -431,7 +431,7 @@ class TestLint007BareRaises:
             if x < 0:
                 raise ValueError("negative")  # lint: disable=LINT007
         """
-        assert rule_ids(src) == []
+        assert rule_ids(src, rules=["LINT007"]) == []
 
 
 class TestLint013ModelPrint:
@@ -513,7 +513,7 @@ class TestSuppressionMechanics:
             # (continues over a second comment line)
             raise ValueError("negative")
         """
-        assert rule_ids(src) == []
+        assert rule_ids(src, rules=["LINT007"]) == []
 
     def test_disable_all(self):
         src = """
@@ -529,14 +529,14 @@ class TestSuppressionMechanics:
         def check(x):
             raise ValueError("negative")
         """
-        assert rule_ids(src) == ["LINT007"]
+        assert rule_ids(src, rules=["LINT007"]) == ["LINT007"]
 
     def test_pragma_for_other_rule_does_not_suppress(self):
         src = """
         def check(x):
             raise ValueError("negative")  # lint: disable=LINT004
         """
-        assert rule_ids(src) == ["LINT007"]
+        assert rule_ids(src, rules=["LINT007"]) == ["LINT007"]
 
 
 class TestEngineBasics:
@@ -567,6 +567,6 @@ class TestEngineBasics:
         def a(out=[]):
             return out
         """
-        findings = findings_for(src)
+        findings = findings_for(src, rules=["LINT005", "LINT007"])
         assert [f.rule for f in findings] == ["LINT007", "LINT005"]
         assert findings[0].line < findings[1].line

@@ -24,14 +24,16 @@ class TestSelfClean:
 
     def test_every_rule_ran(self):
         # Guard against the clean result coming from an empty registry.
-        assert len(ALL_RULE_IDS) == 14
+        assert len(ALL_RULE_IDS) == 18
         assert ALL_RULE_IDS == tuple(
             f"LINT00{i}" for i in range(1, 8)
         ) + ("LINT010", "LINT011", "LINT012", "LINT013", "LINT014",
-             "LINT015", "LINT016")
+             "LINT015", "LINT016", "LINT017", "LINT018", "LINT019",
+             "LINT020")
 
     def test_flow_rules_run_in_default_set(self):
-        # The flow-aware and interprocedural rules individually report
+        # The flow-aware, interprocedural, and module-graph rules
+        # individually report
         # the tree clean too; run them alone so a registry wiring bug
         # cannot hide them.
         for rule_id in (
@@ -42,6 +44,10 @@ class TestSelfClean:
             "LINT014",
             "LINT015",
             "LINT016",
+            "LINT017",
+            "LINT018",
+            "LINT019",
+            "LINT020",
         ):
             findings = lint_paths(
                 [str(PACKAGE_ROOT)], rule_ids=[rule_id]

@@ -50,6 +50,12 @@ class TestExamples:
         assert "dynamic-energy proxy" in out
         assert "saved" in out
 
+    def test_import_graph_figure(self, capsys):
+        out = run_example("import_graph_figure.py", capsys)
+        assert "0 layering violation(s)" in out
+        assert "digraph imports" in out
+        assert "cluster_core" in out
+
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert "quickstart.py" in names
