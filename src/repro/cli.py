@@ -3,10 +3,15 @@
 Commands
 --------
 - ``platforms`` — list built-in SoC configurations.
-- ``profile`` — standalone-profile a workload suite on a PU.
+- ``profile`` — standalone-profile a workload suite on a PU, or (with
+  an experiment name) run the deterministic sim-clock profiler.
 - ``calibrate`` — construct a PU's PCCS parameters and print them.
 - ``predict`` — predict co-run relative speed for (demand, external).
 - ``experiment`` — run paper experiments (delegates to the runner).
+- ``trace`` — run one experiment under tracing (``--jobs N`` stitches
+  worker buffers onto one timeline) and export the trace.
+- ``bench`` — performance-regression sentinel over the benchmark
+  history (``compare`` gates CI; ``record`` appends to the history).
 - ``lint`` — run the simulator-invariant checker (``repro.lint``).
 - ``graph`` — emit the module import graph (DOT or JSON).
 """
@@ -39,6 +44,8 @@ def _cmd_platforms(_args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    if args.experiment:
+        return _cmd_profile_experiment(args)
     engine = CoRunEngine(soc_by_name(args.soc))
     if args.pu == "dla":
         suite = dnn_suite()
@@ -55,6 +62,56 @@ def _cmd_profile(args) -> int:
             [name, fmt(profile.total_seconds * 1e3, 2), fmt(profile.avg_demand)]
         )
     print(table.render())
+    return 0
+
+
+def _cmd_profile_experiment(args) -> int:
+    """Deterministic sim-clock profiler: ``pccs profile <experiment>``.
+
+    Runs the experiment under a trace-only session, merges any
+    worker-shipped buffers, and aggregates the *sim-clock* spans into
+    cumulative/self time per phase. The output is a pure function of
+    the simulation (host timing is excluded), so repeated runs are
+    byte-identical — and the profiled run's artifacts are bit-identical
+    to an unprofiled run's, both asserted by ``tests/obs/test_profile.py``.
+    """
+    from repro.experiments.runner import get_runner
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.profile import build_profile
+    from repro.obs.runtime import ObsSession
+    from repro.obs.stitch import align_workers, merged_buffer
+    from repro.perf.executor import (
+        default_max_workers,
+        set_default_max_workers,
+    )
+
+    try:
+        runner = get_runner(args.experiment)
+    except KeyError as exc:
+        print(f"pccs profile: {exc.args[0]}", file=sys.stderr)
+        return 2
+    previous = default_max_workers()
+    set_default_max_workers(args.jobs)
+    session = ObsSession(trace=True, metrics=False)
+    obs_runtime.activate(session)
+    try:
+        runner()
+    finally:
+        obs_runtime.deactivate()
+        set_default_max_workers(previous)
+    workers = align_workers(session.worker_traces, session.anchor)
+    buffer = merged_buffer(session.tracer.buffer, workers)
+    profile = build_profile(buffer)
+    if args.flamegraph:
+        Path(args.flamegraph).write_text(
+            profile.collapsed_stacks() + "\n", encoding="utf-8"
+        )
+        print(f"profile: collapsed stacks -> {args.flamegraph}")
+    print(profile.top_table(args.top))
+    print(
+        f"profile: {profile.span_count} sim-clock span(s), "
+        f"{profile.total_ns / 1e6:.3f} ms simulated"
+    )
     return 0
 
 
@@ -114,7 +171,10 @@ def _cmd_trace(args) -> int:
 
     from repro.experiments.runner import get_runner
     from repro.obs import (
+        align_workers,
         build_manifest,
+        hit_rates_table,
+        merged_buffer,
         metrics_table,
         summary_table,
         to_csv,
@@ -123,6 +183,10 @@ def _cmd_trace(args) -> int:
     )
     from repro.obs import runtime as obs_runtime
     from repro.obs.runtime import ObsSession
+    from repro.perf.executor import (
+        default_max_workers,
+        set_default_max_workers,
+    )
     from repro.perf.timing import Stopwatch
 
     try:
@@ -131,6 +195,8 @@ def _cmd_trace(args) -> int:
         print(f"pccs trace: {exc.args[0]}", file=sys.stderr)
         return 2
     watch = Stopwatch()
+    previous_workers = default_max_workers()
+    set_default_max_workers(args.jobs)
     session = ObsSession(trace=True, metrics=True)
     obs_runtime.activate(session)
     try:
@@ -145,31 +211,96 @@ def _cmd_trace(args) -> int:
             span.finish(session.harness_time())
     finally:
         obs_runtime.deactivate()
+        set_default_max_workers(previous_workers)
     buffer = session.tracer.buffer
+    workers = align_workers(session.worker_traces, session.anchor)
     snapshot = session.metrics.snapshot()
     manifest = build_manifest(
         experiment=args.experiment,
-        config={"experiment": args.experiment},
+        config={"experiment": args.experiment, "jobs": args.jobs},
         wall_seconds=watch.elapsed(),
     )
     write_chrome_trace(
-        args.trace_out, buffer, manifest=manifest, metrics=snapshot
+        args.trace_out,
+        buffer,
+        manifest=manifest,
+        metrics=snapshot,
+        workers=workers,
     )
+    merged = merged_buffer(buffer, workers)
     print(
-        f"trace: {len(buffer.spans)} span(s), {len(buffer.events)} "
-        f"event(s) -> {args.trace_out}"
+        f"trace: {len(merged.spans)} span(s), {len(merged.events)} "
+        f"event(s)"
+        + (f" across {len(workers)} worker(s)" if workers else "")
+        + f" -> {args.trace_out}"
     )
     if args.jsonl:
-        Path(args.jsonl).write_text(to_jsonl(buffer) + "\n")
+        Path(args.jsonl).write_text(to_jsonl(merged) + "\n")
         print(f"trace: JSONL dump -> {args.jsonl}")
     if args.events_csv:
-        Path(args.events_csv).write_text(to_csv(buffer) + "\n")
+        Path(args.events_csv).write_text(to_csv(merged) + "\n")
         print(f"trace: CSV dump -> {args.events_csv}")
     if args.report:
         print(result.render())
     if args.summary:
-        print(summary_table(buffer))
+        print(summary_table(merged))
         print(metrics_table(snapshot))
+        rates = hit_rates_table(snapshot)
+        if rates is not None:
+            print(rates)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Performance-regression sentinel: ``pccs bench compare|record``."""
+    from repro.errors import ObsError
+    from repro.obs.sentinel import (
+        append_history,
+        compare_results,
+        comparison_table,
+        load_history,
+        load_results,
+        parse_thresholds,
+    )
+
+    try:
+        results = load_results(args.results)
+        if args.bench_command == "record":
+            count = append_history(args.history, results.values())
+            print(f"bench: recorded {count} result(s) to {args.history}")
+            return 0
+        if args.baseline:
+            history = load_results(args.baseline)
+        else:
+            history = load_history(args.history)
+        thresholds = parse_thresholds(args.threshold or [])
+        comparisons = compare_results(
+            results,
+            history,
+            thresholds=thresholds,
+            default_threshold=args.default_threshold,
+        )
+    except ObsError as exc:
+        print(f"pccs bench: error: {exc}", file=sys.stderr)
+        return 2
+    print(comparison_table(comparisons))
+    unrecorded = sorted(set(results) - set(history))
+    if unrecorded:
+        print(
+            f"bench: {len(unrecorded)} benchmark(s) not in the history "
+            f"yet (run 'pccs bench record'): {', '.join(unrecorded)}"
+        )
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        for c in regressions:
+            print(
+                f"bench: REGRESSION {c.name}/{c.metric}: "
+                f"{c.current:.4g} vs recorded {c.baseline:.4g} "
+                f"({c.ratio:.2f}x worse, threshold {c.threshold:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"bench: no regressions in {len(comparisons)} comparison(s)")
     return 0
 
 
@@ -403,9 +534,51 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_platforms
     )
 
-    p = sub.add_parser("profile", help="standalone-profile a suite")
+    p = sub.add_parser(
+        "profile",
+        help=(
+            "standalone-profile a suite, or profile an experiment's "
+            "simulated time"
+        ),
+        description=(
+            "Without an experiment name: print standalone kernel "
+            "profiles for a workload suite (--soc/--pu). With one: run "
+            "the deterministic sim-clock profiler — cumulative/self "
+            "time per simulation phase, optionally as collapsed stacks "
+            "for flamegraph tooling. Profiled runs are bit-identical "
+            "to unprofiled ones."
+        ),
+    )
+    p.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment to profile (omit for suite profiling)",
+    )
     p.add_argument("--soc", default="xavier-agx")
     p.add_argument("--pu", default="gpu", choices=["cpu", "gpu", "dla"])
+    p.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the hottest-phases table (default: 10)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the profiled experiment's sweeps; "
+            "the profile is identical to --jobs 1"
+        ),
+    )
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("calibrate", help="construct PCCS parameters")
@@ -451,7 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace",
         metavar="FILE",
-        help="record a Chrome trace-event JSON (needs --jobs 1)",
+        help=(
+            "record a Chrome trace-event JSON (worker buffers are "
+            "stitched onto one timeline under --jobs N)"
+        ),
     )
     p.add_argument(
         "--metrics",
@@ -466,11 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Runs one registered experiment under a tracing + metrics "
             "session and writes a Chrome trace-event JSON (open in "
-            "Perfetto or about:tracing). Results are bit-identical to "
-            "an untraced run."
+            "Perfetto or about:tracing). With --jobs N the worker "
+            "processes' buffers are shipped back and stitched onto one "
+            "timeline, one process row per worker. Results are "
+            "bit-identical to an untraced serial run."
         ),
     )
     p.add_argument("experiment", help="registered experiment name")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the experiment's sweeps; worker "
+            "spans land on per-worker pid rows in the trace"
+        ),
+    )
     p.add_argument(
         "--trace-out",
         default="trace.json",
@@ -495,9 +683,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--summary",
         action="store_true",
-        help="print per-track span totals and the metrics table",
+        help=(
+            "print per-track span totals, the metrics table, and "
+            "cache hit rates"
+        ),
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance-regression sentinel over benchmark results",
+        description=(
+            "Reads the machine-readable benchmark results "
+            "(benchmarks/results/*.json) and ratchets them against the "
+            "append-only history (benchmarks/history.jsonl). 'compare' "
+            "exits 1 on any noise-tolerant regression (the CI gate); "
+            "'record' appends the current results with run provenance."
+        ),
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    for verb, verb_help in (
+        ("compare", "compare current results against the history"),
+        ("record", "append current results to the history"),
+    ):
+        bp = bench_sub.add_parser(verb, help=verb_help)
+        bp.add_argument(
+            "--results",
+            default="benchmarks/results",
+            metavar="DIR",
+            help=(
+                "directory of *.json benchmark results "
+                "(default: benchmarks/results)"
+            ),
+        )
+        bp.add_argument(
+            "--history",
+            default="benchmarks/history.jsonl",
+            metavar="FILE",
+            help=(
+                "append-only JSONL history "
+                "(default: benchmarks/history.jsonl)"
+            ),
+        )
+        if verb == "compare":
+            bp.add_argument(
+                "--baseline",
+                metavar="DIR",
+                help=(
+                    "compare against another results directory "
+                    "instead of the history"
+                ),
+            )
+            bp.add_argument(
+                "--threshold",
+                action="append",
+                metavar="NAME=FACTOR",
+                help=(
+                    "per-benchmark worse-by factor override "
+                    "(repeatable, e.g. --threshold obs=1.3)"
+                ),
+            )
+            bp.add_argument(
+                "--default-threshold",
+                type=float,
+                default=1.5,
+                metavar="FACTOR",
+                help=(
+                    "fail when a metric is this factor worse than "
+                    "recorded (default: 1.5)"
+                ),
+            )
+        bp.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "lint",

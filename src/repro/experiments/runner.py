@@ -154,8 +154,10 @@ def main(argv=None) -> int:
         metavar="FILE",
         help=(
             "record a Chrome trace-event JSON of the simulations "
-            "(open in Perfetto / about:tracing); traced results are "
-            "bit-identical to untraced ones"
+            "(open in Perfetto / about:tracing); with --jobs N the "
+            "workers' buffers are stitched onto one timeline, one "
+            "process row per worker; traced results are bit-identical "
+            "to untraced ones"
         ),
     )
     parser.add_argument(
@@ -174,11 +176,6 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if args.trace and args.jobs > 1:
-        parser.error(
-            "--trace requires --jobs 1 (trace buffers stay in-process; "
-            "--metrics works with any job count)"
-        )
     names = list(EXPERIMENTS) if args.all else args.names
     if not names:
         parser.print_help()
@@ -208,6 +205,14 @@ def main(argv=None) -> int:
         activate_sim_cache(args.sim_cache)
     try:
         if args.jobs > 1 and len(names) > 1:
+            from repro.perf.timing import monotonic_anchor
+
+            # Anchor for stitching worker harness clocks onto this
+            # process's timeline; each ExperimentJob ships its whole
+            # session back as a WorkerTrace (the coordinator activates
+            # no session here, so the chunk-level shipping in the pool
+            # sees a disabled tracer and stays out of the way).
+            coordinator_anchor = monotonic_anchor()
             outcomes = parallel_map(
                 [
                     ExperimentJob(
@@ -215,6 +220,7 @@ def main(argv=None) -> int:
                         out_dir=str(out_dir) if out_dir else None,
                         csv=args.csv,
                         metrics=args.metrics,
+                        trace=bool(args.trace),
                         sim_cache_dir=args.sim_cache,
                     )
                     for name in names
@@ -225,6 +231,7 @@ def main(argv=None) -> int:
                 print(f"==== {outcome.name} ({outcome.elapsed:.1f}s) ====")
                 print(outcome.report)
                 print()
+            merged = None
             if args.metrics:
                 from repro.obs import merge_snapshots, metrics_table
 
@@ -232,6 +239,10 @@ def main(argv=None) -> int:
                     [o.metrics_snapshot for o in outcomes]
                 )
                 print(metrics_table(merged))
+            if args.trace:
+                _export_outcome_traces(
+                    outcomes, names, args, coordinator_anchor, merged
+                )
             return 0
 
         session = None
@@ -284,7 +295,12 @@ def main(argv=None) -> int:
 
 def _export_session(session, names, args) -> None:
     """Write the trace file and/or print the metrics summary."""
-    from repro.obs import build_manifest, metrics_table, write_chrome_trace
+    from repro.obs import (
+        align_workers,
+        build_manifest,
+        metrics_table,
+        write_chrome_trace,
+    )
 
     snapshot = session.metrics.snapshot() if args.metrics else None
     if args.trace:
@@ -298,10 +314,43 @@ def _export_session(session, names, args) -> None:
             session.tracer.buffer,
             manifest=manifest,
             metrics=snapshot,
+            workers=align_workers(session.worker_traces, session.anchor),
         )
         print(f"trace: wrote {args.trace}")
     if args.metrics and snapshot is not None:
         print(metrics_table(snapshot))
+
+
+def _export_outcome_traces(
+    outcomes, names, args, coordinator_anchor, snapshot
+) -> None:
+    """Stitch per-experiment worker traces and write the trace file.
+
+    The multi-experiment ``--jobs`` path: each outcome's trace is one
+    whole experiment; the outcome's position stamps the deterministic
+    ordering key before alignment.
+    """
+    from repro.obs import align_workers, build_manifest, write_chrome_trace
+    from repro.obs.events import TraceBuffer
+
+    traces = [
+        outcome.trace.with_first_index(index)
+        for index, outcome in enumerate(outcomes)
+        if outcome.trace is not None
+    ]
+    manifest = build_manifest(
+        experiment="+".join(names),
+        config={"names": list(names), "jobs": args.jobs},
+        wall_seconds=max((o.elapsed for o in outcomes), default=0.0),
+    )
+    write_chrome_trace(
+        args.trace,
+        TraceBuffer(),
+        manifest=manifest,
+        metrics=snapshot,
+        workers=align_workers(traces, coordinator_anchor),
+    )
+    print(f"trace: wrote {args.trace}")
 
 
 if __name__ == "__main__":

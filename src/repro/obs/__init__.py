@@ -12,7 +12,13 @@
 - :mod:`repro.obs.manifest` — run-provenance manifests (config hash,
   code version, machine spec) attached to experiment outputs;
 - :mod:`repro.obs.runtime` — process-wide session management so cached
-  engines pick tracing up without constructor threading.
+  engines pick tracing up without constructor threading;
+- :mod:`repro.obs.stitch` — cross-process trace stitching: worker pool
+  buffers aligned onto the coordinator's timeline;
+- :mod:`repro.obs.profile` — deterministic sim-clock profiler
+  (cumulative/self time per phase, collapsed-stack flamegraph output);
+- :mod:`repro.obs.sentinel` — performance-regression sentinel over the
+  recorded benchmark history.
 
 Invariants: traced and untraced runs are bit-identical (asserted by
 the determinism harness), and every record carries simulated time —
@@ -22,6 +28,7 @@ never a raw host-clock value.
 from repro.obs.events import Event, Span, TraceBuffer
 from repro.obs.export import (
     ensure_valid_chrome_trace,
+    hit_rates_table,
     metrics_table,
     summary_table,
     to_chrome_trace,
@@ -29,6 +36,21 @@ from repro.obs.export import (
     to_jsonl,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.profile import Profile, ProfileNode, build_profile
+from repro.obs.sentinel import (
+    BenchResult,
+    Comparison,
+    append_history,
+    compare_results,
+    load_history,
+    load_results,
+)
+from repro.obs.stitch import (
+    StitchedWorker,
+    WorkerTrace,
+    align_workers,
+    merged_buffer,
 )
 from repro.obs.manifest import RunManifest, build_manifest, config_hash
 from repro.obs.metrics import (
@@ -52,6 +74,8 @@ from repro.obs.runtime import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "BenchResult",
+    "Comparison",
     "Counter",
     "Event",
     "Gauge",
@@ -63,17 +87,29 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTracer",
     "ObsSession",
+    "Profile",
+    "ProfileNode",
     "RunManifest",
     "Span",
+    "StitchedWorker",
     "TraceBuffer",
     "Tracer",
+    "WorkerTrace",
     "activate",
     "active",
+    "align_workers",
+    "append_history",
     "build_manifest",
+    "build_profile",
+    "compare_results",
     "config_hash",
     "deactivate",
     "ensure_valid_chrome_trace",
+    "hit_rates_table",
+    "load_history",
+    "load_results",
     "merge_snapshots",
+    "merged_buffer",
     "metrics_table",
     "session",
     "summary_table",

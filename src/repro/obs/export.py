@@ -20,17 +20,22 @@ test and the CI ``obs`` step.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import TextTable, fmt
 from repro.errors import ObsError
 from repro.obs.events import Event, HARNESS_CLOCK, SIM_CLOCK, Span, TraceBuffer
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.stitch import StitchedWorker
 
 _CLOCK_PIDS = {SIM_CLOCK: 1, HARNESS_CLOCK: 2}
 _CLOCK_LABELS = {SIM_CLOCK: "simulated time", HARNESS_CLOCK: "harness"}
 _US_PER_SECOND = 1e6
+
+#: Worker ``ordinal`` k lands on Chrome-trace pid ``10 + k``, keeping
+#: the coordinator's two clock rows (pids 1 and 2) visually first.
+_WORKER_PID_BASE = 10
 
 
 def _record_sort_key(record: Union[Event, Span]) -> Tuple:
@@ -48,12 +53,46 @@ def _track_ids(buffer: TraceBuffer) -> Dict[Tuple[str, str], int]:
     return {key: index + 1 for index, key in enumerate(keys)}
 
 
+def _render_records(
+    records: List[Union[Event, Span]],
+    tids: Dict[Tuple[str, str], int],
+    pid_of: Dict[str, int],
+) -> List[Dict[str, object]]:
+    """Sorted record entries for one process group (shared renderer)."""
+    entries: List[Dict[str, object]] = []
+    for record in sorted(records, key=_record_sort_key):
+        entry: Dict[str, object] = {
+            "name": record.name,
+            "cat": record.category,
+            "pid": pid_of.get(record.clock, 0),
+            "tid": tids[(record.clock, record.track)],
+            "args": dict(record.args),
+        }
+        if isinstance(record, Span):
+            entry["ph"] = "X"
+            entry["ts"] = record.start * _US_PER_SECOND
+            entry["dur"] = max(record.duration, 0.0) * _US_PER_SECOND
+        else:
+            entry["ph"] = "i"
+            entry["ts"] = record.time * _US_PER_SECOND
+            entry["s"] = "t"
+        entries.append(entry)
+    return entries
+
+
 def to_chrome_trace(
     buffer: TraceBuffer,
     manifest: Optional[RunManifest] = None,
     metrics: Optional[MetricsSnapshot] = None,
+    workers: Sequence[StitchedWorker] = (),
 ) -> Dict[str, object]:
-    """Render a trace buffer as a Chrome trace-event JSON object."""
+    """Render a trace buffer as a Chrome trace-event JSON object.
+
+    ``workers`` are aligned cross-process buffers
+    (:func:`repro.obs.stitch.align_workers`): each gets its own pid row
+    with a ``process_name`` metadata record, so a ``--jobs N`` trace
+    shows one coherent timeline with one track per worker process.
+    """
     tids = _track_ids(buffer)
     trace_events: List[Dict[str, object]] = []
     for (clock, track), tid in sorted(tids.items(), key=lambda kv: kv[1]):
@@ -67,23 +106,50 @@ def to_chrome_trace(
             }
         )
     records: List[Union[Event, Span]] = list(buffer.spans) + list(buffer.events)
-    for record in sorted(records, key=_record_sort_key):
-        entry: Dict[str, object] = {
-            "name": record.name,
-            "cat": record.category,
-            "pid": _CLOCK_PIDS.get(record.clock, 0),
-            "tid": tids[(record.clock, record.track)],
-            "args": dict(record.args),
-        }
-        if isinstance(record, Span):
-            entry["ph"] = "X"
-            entry["ts"] = record.start * _US_PER_SECOND
-            entry["dur"] = max(record.duration, 0.0) * _US_PER_SECOND
-        else:
-            entry["ph"] = "i"
-            entry["ts"] = record.time * _US_PER_SECOND
-            entry["s"] = "t"
-        trace_events.append(entry)
+    trace_events.extend(_render_records(records, tids, _CLOCK_PIDS))
+    for worker in workers:
+        pid = _WORKER_PID_BASE + worker.ordinal
+        worker_buffer = TraceBuffer(
+            events=list(worker.events), spans=list(worker.spans)
+        )
+        worker_tids = _track_ids(worker_buffer)
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": (
+                        f"worker {worker.ordinal} (os pid {worker.os_pid})"
+                    )
+                },
+            }
+        )
+        for (clock, track), tid in sorted(
+            worker_tids.items(), key=lambda kv: kv[1]
+        ):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "name": (
+                            f"{track} "
+                            f"({_CLOCK_LABELS.get(clock, clock)})"
+                        )
+                    },
+                }
+            )
+        worker_records: List[Union[Event, Span]] = list(
+            worker_buffer.spans
+        ) + list(worker_buffer.events)
+        worker_pids = {clock: pid for clock in _CLOCK_PIDS}
+        trace_events.extend(
+            _render_records(worker_records, worker_tids, worker_pids)
+        )
     other: Dict[str, object] = {}
     if manifest is not None:
         other["manifest"] = json.loads(manifest.to_json())
@@ -112,9 +178,12 @@ def write_chrome_trace(
     buffer: TraceBuffer,
     manifest: Optional[RunManifest] = None,
     metrics: Optional[MetricsSnapshot] = None,
+    workers: Sequence[StitchedWorker] = (),
 ) -> None:
     """Serialize :func:`to_chrome_trace` to a file."""
-    payload = to_chrome_trace(buffer, manifest=manifest, metrics=metrics)
+    payload = to_chrome_trace(
+        buffer, manifest=manifest, metrics=metrics, workers=workers
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
@@ -275,6 +344,40 @@ def metrics_table(snapshot: MetricsSnapshot) -> str:
     return table.render()
 
 
+#: (label, counter prefix) pairs :func:`hit_rates_table` scans for.
+#: Each cache mirrors ``<prefix>.hits`` / ``<prefix>.misses`` counters
+#: into the active session's registry.
+_CACHE_COUNTERS = (
+    ("resolve cache", "soc.resolve_cache"),
+    ("sim cache", "perf.simcache"),
+)
+
+
+def hit_rates_table(snapshot: MetricsSnapshot) -> Optional[str]:
+    """Cache hit rates from a metrics snapshot, or ``None`` if absent.
+
+    Covers the engine's steady-state resolve cache and the on-disk
+    simulation result cache — both already count hits/misses into the
+    session registry; this renders the rates the counters imply.
+    """
+    table = TextTable(
+        ["cache", "hits", "misses", "hit rate"], title="cache hit rates"
+    )
+    rows = 0
+    for label, prefix in _CACHE_COUNTERS:
+        hits = snapshot.counter_value(f"{prefix}.hits")
+        misses = snapshot.counter_value(f"{prefix}.misses")
+        calls = hits + misses
+        if calls <= 0:
+            continue
+        table.add_row(
+            [label, fmt(hits, 0), fmt(misses, 0),
+             f"{hits / calls * 100:.1f}%"]
+        )
+        rows += 1
+    return table.render() if rows else None
+
+
 def ensure_valid_chrome_trace(payload: object) -> None:
     """Raise :class:`ObsError` listing every schema violation found."""
     problems = validate_chrome_trace(payload)
@@ -286,6 +389,7 @@ def ensure_valid_chrome_trace(payload: object) -> None:
 
 __all__ = [
     "ensure_valid_chrome_trace",
+    "hit_rates_table",
     "metrics_table",
     "summary_table",
     "to_chrome_trace",

@@ -1,0 +1,212 @@
+"""Deterministic sim-clock profiler over trace buffers.
+
+Wall-clock profilers answer "where did this host spend its time?" —
+an answer that changes with CPU load, cache state, and the phase of
+the moon. This profiler answers "where did the *simulation* spend its
+time?" by aggregating the sim-clock spans the engines already emit
+(``memsys.resolve`` epochs, scheduler selections, the DRAM request
+lifecycle), which makes the profile a pure function of the trace:
+
+- **deterministic** — two runs of the same experiment produce the same
+  profile byte for byte, because simulated time is deterministic and
+  harness-clock records are excluded entirely;
+- **bit-identity preserving** — profiles are computed post hoc from
+  the buffer, so profiling adds nothing beyond the (already
+  bit-identical) tracing the records came from;
+- **exchangeable** — :meth:`Profile.collapsed_stacks` emits the
+  collapsed-stack format (``frame;frame;frame <count>``) consumed by
+  flamegraph.pl, speedscope, and inferno, with integer nanosecond
+  weights so no float formatting can wobble.
+
+The span tree is rebuilt per *simulation*: simulated time restarts at
+zero for every run, so a buffer holds many overlapping trees per
+track. Simulations execute sequentially within a process and a root
+(depth-0) span closes — and is therefore appended — after all of its
+descendants, so in emission order each depth-0 span terminates one
+simulation's segment. Within a segment, spans sorted by start time
+(depth as tie-break) arrive parents-first and the explicit ``depth``
+field reconstructs the stack. *Self* time is a span's duration minus
+the union of its direct children's intervals — union, not sum,
+because sibling spans (DRAM requests on one channel) may overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import TextTable
+from repro.obs.events import SIM_CLOCK, Span, TraceBuffer
+
+def _ns(seconds: float) -> int:
+    """Integer nanoseconds — the unit every exported weight uses."""
+    return int(round(seconds * 1e9))
+
+
+def _interval_union_ns(intervals: List[Tuple[float, float]]) -> int:
+    """Total covered nanoseconds of possibly-overlapping intervals."""
+    if not intervals:
+        return 0
+    total = 0
+    current_start, current_end = None, None
+    for start, end in sorted(intervals):
+        if current_start is None or start > current_end:
+            if current_start is not None:
+                total += _ns(current_end) - _ns(current_start)
+            current_start, current_end = start, end
+        elif end > current_end:
+            current_end = end
+    total += _ns(current_end) - _ns(current_start)
+    return total
+
+
+@dataclass
+class ProfileNode:
+    """Aggregate for one call path (track root down to this frame)."""
+
+    path: Tuple[str, ...]
+    count: int = 0
+    cum_ns: int = 0
+    self_ns: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+
+@dataclass
+class Profile:
+    """Aggregated sim-clock profile of one (merged) trace buffer.
+
+    ``nodes`` is keyed by call path; the path's first frame is the
+    track name, so ``dram.ch0;req`` and ``pu.gpu;epoch`` read as
+    self-describing stacks without extra context.
+    """
+
+    nodes: Dict[Tuple[str, ...], ProfileNode] = field(default_factory=dict)
+    span_count: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        """Self time summed over every node (== total covered time)."""
+        return sum(node.self_ns for node in self.nodes.values())
+
+    def collapsed_stacks(self) -> str:
+        """Collapsed-stack flamegraph lines, one per path, sorted.
+
+        Weights are *self* nanoseconds (flamegraph tooling derives
+        cumulative widths by summing descendants); zero-weight paths
+        are kept when they have children — dropping them would orphan
+        the descendants' frames.
+        """
+        lines = []
+        for path in sorted(self.nodes):
+            node = self.nodes[path]
+            lines.append(f"{';'.join(path)} {node.self_ns}")
+        return "\n".join(lines)
+
+    def top_table(self, limit: int = 10) -> str:
+        """The ``limit`` hottest paths by self time, as a text table."""
+        table = TextTable(
+            ["phase", "count", "self (ms)", "cum (ms)", "self %"],
+            title="profile: hottest sim-clock phases",
+        )
+        total = self.total_ns or 1
+        ranked = sorted(
+            self.nodes.values(),
+            key=lambda node: (-node.self_ns, node.path),
+        )
+        for node in ranked[:limit]:
+            table.add_row(
+                [
+                    ";".join(node.path),
+                    node.count,
+                    f"{node.self_ns / 1e6:.3f}",
+                    f"{node.cum_ns / 1e6:.3f}",
+                    f"{node.self_ns / total * 100:.1f}%",
+                ]
+            )
+        return table.render()
+
+
+def build_profile(buffer: TraceBuffer) -> Profile:
+    """Aggregate a buffer's sim-clock spans into a :class:`Profile`.
+
+    Harness-clock spans are excluded by design: they carry host timing
+    and would break the determinism contract (`pccs profile` output is
+    asserted byte-stable by ``tests/obs/test_profile.py``).
+    """
+    profile = Profile()
+    by_track: Dict[str, List[Span]] = {}
+    for span in buffer.spans:
+        if span.clock != SIM_CLOCK:
+            continue
+        by_track.setdefault(span.track, []).append(span)
+    for track in sorted(by_track):
+        for segment in _segments(by_track[track]):
+            _aggregate_segment(profile, track, segment)
+    return profile
+
+
+def _segments(spans: List[Span]) -> List[List[Span]]:
+    """Split one track's emission-ordered spans into simulation trees.
+
+    Roots close after their descendants, so each depth-0 span ends one
+    segment. Trailing spans with no root (a truncated buffer) form a
+    final segment of their own.
+    """
+    segments: List[List[Span]] = []
+    current: List[Span] = []
+    for span in spans:
+        current.append(span)
+        if span.depth == 0:
+            segments.append(current)
+            current = []
+    if current:
+        segments.append(current)
+    return segments
+
+
+def _aggregate_segment(
+    profile: Profile, track: str, segment: List[Span]
+) -> None:
+    """Fold one simulation's spans on one track into the profile."""
+    ordered = sorted(
+        segment, key=lambda s: (s.start, s.depth, s.end, s.name)
+    )
+    # Parents sort before their children (outer spans start no later
+    # and sit at a smaller depth), so a plain stack suffices: each
+    # frame is (span, path, direct-child intervals).
+    stack: List[Tuple[Span, Tuple[str, ...], List[Tuple[float, float]]]] = []
+
+    def _close_top() -> None:
+        span, path, children = stack.pop()
+        node = profile.nodes.get(path)
+        if node is None:
+            node = ProfileNode(path=path)
+            profile.nodes[path] = node
+        duration_ns = _ns(span.end) - _ns(span.start)
+        node.count += 1
+        node.cum_ns += duration_ns
+        node.self_ns += max(
+            duration_ns - _interval_union_ns(children), 0
+        )
+
+    for span in ordered:
+        # A span at depth d has exactly d open ancestors; anything
+        # deeper on the stack has finished. Orphaned depths (parent
+        # missing from a partial buffer) clamp to the stack we have.
+        while len(stack) > span.depth:
+            _close_top()
+        if stack:
+            stack[-1][2].append((span.start, span.end))
+            path = (*stack[-1][1], span.name)
+        else:
+            path = (track, span.name)
+        stack.append((span, path, []))
+        profile.span_count += 1
+    while stack:
+        _close_top()
+
+
+__all__ = ["Profile", "ProfileNode", "build_profile"]

@@ -23,7 +23,7 @@ metrics activates its own session inside the job.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from contextlib import contextmanager
 
@@ -34,7 +34,10 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
-from repro.perf.timing import Stopwatch
+from repro.perf.timing import Stopwatch, monotonic_anchor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.stitch import WorkerTrace
 
 
 class ObsSession:
@@ -43,7 +46,12 @@ class ObsSession:
     ``watch`` anchors harness-clock records: harness spans report
     seconds since session activation (via the sanctioned
     :class:`~repro.perf.timing.Stopwatch`), keeping raw host-clock
-    values out of every record.
+    values out of every record. ``anchor`` is the session start on the
+    absolute monotonic clock — never recorded itself, only differenced
+    against worker anchors when stitching cross-process traces
+    (:mod:`repro.obs.stitch`). ``worker_traces`` accumulates the
+    buffers worker processes ship back alongside their metrics
+    snapshots; exporters align them via :func:`~repro.obs.stitch.align_workers`.
     """
 
     def __init__(
@@ -56,6 +64,8 @@ class ObsSession:
             MetricsRegistry() if metrics else NULL_METRICS
         )
         self.watch = Stopwatch()
+        self.anchor = monotonic_anchor()
+        self.worker_traces: "List[WorkerTrace]" = []
 
     @property
     def enabled(self) -> bool:
@@ -64,6 +74,10 @@ class ObsSession:
     def harness_time(self) -> float:
         """Seconds since activation, for harness-clock records."""
         return self.watch.elapsed()
+
+    def absorb_worker_trace(self, trace: "WorkerTrace") -> None:
+        """Collect one worker-shipped trace buffer for later stitching."""
+        self.worker_traces.append(trace)
 
 
 _DEFAULT = ObsSession(trace=False, metrics=False)

@@ -1,0 +1,283 @@
+"""Performance-regression sentinel over the benchmark history.
+
+The benchmarks under ``benchmarks/`` each save a machine-readable
+``benchmarks/results/<name>.json`` (``{"name", "seconds", "speedup",
+...}``). This module turns those files into a *ratchet*:
+
+- ``benchmarks/history.jsonl`` is an append-only JSONL file; each line
+  is one benchmark observation stamped with run provenance (code
+  version, python, platform, CPU count — the same fields the run
+  manifest records, and no raw timestamps, so re-recording an
+  unchanged tree appends identical lines);
+- ``pccs bench record`` appends the current results to the history;
+- ``pccs bench compare`` compares the current results against each
+  benchmark's most recent history entry and exits nonzero on any
+  regression, which is how CI gates cheap benchmarks.
+
+**Noise tolerance.** Benchmark wall times wobble; a strict equality
+ratchet would flap. A regression is declared only when the current
+measurement is worse than the recorded one by more than a relative
+threshold (default ``1.5``: fail at 50% worse, chosen far above the
+observed noise of the repo's benchmarks and far below the 2x of a real
+algorithmic regression). Thresholds are configurable per benchmark
+(``--threshold obs=1.3``) for benches with known tighter or looser
+variance. Both directions of "worse" are covered: ``seconds`` regress
+upward, ``speedup`` regresses downward.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.tables import TextTable
+from repro.errors import ObsError
+
+#: Current measurement may be up to this factor worse than history
+#: before the sentinel fails (1.5 == fail at 50% worse).
+DEFAULT_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's recorded measurements.
+
+    ``seconds`` is wall time (lower is better); ``speedup`` is a ratio
+    over some in-bench baseline (higher is better). Either may be
+    absent — benches record what they measure.
+    """
+
+    name: str
+    seconds: Optional[float] = None
+    speedup: Optional[float] = None
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark metric's current-vs-history verdict.
+
+    ``ratio`` is normalized so that > 1.0 always means "worse": it is
+    ``current/baseline`` for ``seconds`` and ``baseline/current`` for
+    ``speedup``. ``regressed`` is ``ratio > threshold``.
+    """
+
+    name: str
+    metric: str
+    current: float
+    baseline: float
+    ratio: float
+    threshold: float
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > self.threshold
+
+
+def _coerce_result(payload: Dict[str, object], origin: str) -> BenchResult:
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ObsError(f"{origin}: missing or invalid 'name'")
+    values: Dict[str, Optional[float]] = {}
+    for metric in ("seconds", "speedup"):
+        value = payload.get(metric)
+        if value is None:
+            values[metric] = None
+        elif isinstance(value, (int, float)) and value > 0:
+            values[metric] = float(value)
+        else:
+            raise ObsError(
+                f"{origin}: {metric!r} must be a positive number or "
+                f"null, got {value!r}"
+            )
+    return BenchResult(
+        name=name, seconds=values["seconds"], speedup=values["speedup"]
+    )
+
+
+def load_results(results_dir: str) -> Dict[str, BenchResult]:
+    """Read every ``*.json`` benchmark result in a directory."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise ObsError(f"benchmark results directory not found: {directory}")
+    results: Dict[str, BenchResult] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ObsError(f"cannot read benchmark result {path}: {exc}")
+        if not isinstance(payload, dict):
+            raise ObsError(f"{path}: benchmark result must be an object")
+        result = _coerce_result(payload, str(path))
+        results[result.name] = result
+    return results
+
+
+def load_history(history_path: str) -> Dict[str, BenchResult]:
+    """Latest history entry per benchmark (empty when no history yet)."""
+    path = Path(history_path)
+    if not path.is_file():
+        return {}
+    latest: Dict[str, BenchResult] = {}
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise ObsError(f"{path}:{line_no}: invalid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ObsError(f"{path}:{line_no}: entry must be an object")
+        result = _coerce_result(payload, f"{path}:{line_no}")
+        latest[result.name] = result  # later lines win: append-only log
+    return latest
+
+
+def run_provenance() -> Dict[str, object]:
+    """Environment stamp attached to appended history lines.
+
+    Mirrors the run manifest's machine fields; deliberately excludes
+    timestamps so identical trees append identical lines.
+    """
+    from repro.obs.manifest import code_version
+
+    return {
+        "code_version": code_version(),
+        "python_version": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def append_history(
+    history_path: str, results: Iterable[BenchResult]
+) -> int:
+    """Append one provenance-stamped line per result; returns the count."""
+    provenance = run_provenance()
+    lines = []
+    for result in sorted(results, key=lambda r: r.name):
+        record = result.to_record()
+        record["provenance"] = provenance
+        lines.append(json.dumps(record, sort_keys=True))
+    if lines:
+        path = Path(history_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def parse_thresholds(specs: Iterable[str]) -> Dict[str, float]:
+    """Parse ``NAME=FACTOR`` per-benchmark threshold overrides."""
+    thresholds: Dict[str, float] = {}
+    for spec in specs:
+        name, sep, raw = spec.partition("=")
+        if not sep or not name:
+            raise ObsError(
+                f"invalid threshold {spec!r}: expected NAME=FACTOR"
+            )
+        try:
+            factor = float(raw)
+        except ValueError:
+            raise ObsError(f"invalid threshold factor in {spec!r}")
+        if factor <= 1.0:
+            raise ObsError(
+                f"threshold factor must be > 1.0, got {factor} in {spec!r}"
+            )
+        thresholds[name] = factor
+    return thresholds
+
+
+def compare_results(
+    current: Dict[str, BenchResult],
+    history: Dict[str, BenchResult],
+    thresholds: Optional[Dict[str, float]] = None,
+    default_threshold: float = DEFAULT_THRESHOLD,
+) -> List[Comparison]:
+    """Compare current results to their latest history entries.
+
+    Benchmarks absent from the history (or metrics absent on either
+    side) are skipped — the sentinel only ratchets what has been
+    recorded, so adding a new benchmark never fails the gate until
+    ``pccs bench record`` admits it.
+    """
+    thresholds = thresholds or {}
+    comparisons: List[Comparison] = []
+    for name in sorted(current):
+        base = history.get(name)
+        if base is None:
+            continue
+        threshold = thresholds.get(name, default_threshold)
+        cur = current[name]
+        if cur.seconds is not None and base.seconds is not None:
+            comparisons.append(
+                Comparison(
+                    name=name,
+                    metric="seconds",
+                    current=cur.seconds,
+                    baseline=base.seconds,
+                    ratio=cur.seconds / base.seconds,
+                    threshold=threshold,
+                )
+            )
+        if cur.speedup is not None and base.speedup is not None:
+            comparisons.append(
+                Comparison(
+                    name=name,
+                    metric="speedup",
+                    current=cur.speedup,
+                    baseline=base.speedup,
+                    ratio=base.speedup / cur.speedup,
+                    threshold=threshold,
+                )
+            )
+    return comparisons
+
+
+def comparison_table(comparisons: List[Comparison]) -> str:
+    """Render the full comparison (regressions flagged) as a table."""
+    table = TextTable(
+        ["benchmark", "metric", "current", "recorded", "worse by",
+         "threshold", "verdict"],
+        title="bench compare: current vs history",
+    )
+    for comparison in comparisons:
+        table.add_row(
+            [
+                comparison.name,
+                comparison.metric,
+                f"{comparison.current:.4g}",
+                f"{comparison.baseline:.4g}",
+                f"{comparison.ratio:.3f}x",
+                f"{comparison.threshold:.2f}x",
+                "REGRESSED" if comparison.regressed else "ok",
+            ]
+        )
+    return table.render()
+
+
+__all__ = [
+    "BenchResult",
+    "Comparison",
+    "DEFAULT_THRESHOLD",
+    "append_history",
+    "compare_results",
+    "comparison_table",
+    "load_history",
+    "load_results",
+    "parse_thresholds",
+    "run_provenance",
+]

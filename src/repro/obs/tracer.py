@@ -16,7 +16,7 @@ The contract instrumented code relies on:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import ObsError
 from repro.obs.events import (
@@ -98,6 +98,12 @@ class NullTracer:
     def span(self, name: str, start: float, track: str, **kwargs: object) -> "_NullSpan":
         return _NULL_SPAN
 
+    def emit_event(self, *args: object, **kwargs: object) -> None:
+        """Discard the pre-frozen event."""
+
+    def emit_span(self, *args: object, **kwargs: object) -> None:
+        """Discard the pre-frozen span."""
+
     def _close(self, span: "ActiveSpan") -> None:  # pragma: no cover - defensive
         pass
 
@@ -178,6 +184,71 @@ class Tracer:
         self._depth[track] = depth + 1
         return ActiveSpan(
             self, name, start, track, category, clock, depth, args
+        )
+
+    # ------------------------------------------------------------------
+    # Pre-frozen fast path
+    # ------------------------------------------------------------------
+    # The keyword API above builds a dict and sorts it per emission —
+    # fine for once-per-simulation records, measurable for once-per-
+    # request ones. Hot emitters (the DRAM request lifecycle, SoC epoch
+    # arbitration) pre-intern their static tag pairs once per run and
+    # pass *already sorted* arg tuples here, skipping the dict, the
+    # sort, and (for spans) the ActiveSpan handle entirely. The records
+    # appended are identical to the keyword path's — asserted by
+    # tests/obs/test_tracer.py — so exporters and consumers cannot tell
+    # which path produced a record.
+
+    def emit_event(
+        self,
+        name: str,
+        time: float,
+        track: str,
+        category: str,
+        args: Tuple[Tuple[str, ArgValue], ...] = (),
+        clock: str = SIM_CLOCK,
+    ) -> None:
+        """Append one event whose args are a pre-sorted frozen tuple."""
+        self.buffer.events.append(
+            Event(
+                name=name,
+                time=time,
+                track=track,
+                category=category,
+                args=args,
+                clock=clock,
+            )
+        )
+
+    def emit_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: str,
+        category: str,
+        args: Tuple[Tuple[str, ArgValue], ...] = (),
+        clock: str = SIM_CLOCK,
+        depth: int = 0,
+    ) -> None:
+        """Append one already-closed span with pre-frozen args.
+
+        Bypasses the per-track depth counter, so the caller supplies
+        the nesting depth explicitly — hot emitters sit at a constant
+        depth under a long-lived parent span they opened through the
+        keyword API (which *does* maintain the counter).
+        """
+        self.buffer.spans.append(
+            Span(
+                name=name,
+                start=start,
+                end=end,
+                track=track,
+                category=category,
+                args=args,
+                clock=clock,
+                depth=depth,
+            )
         )
 
     # ------------------------------------------------------------------

@@ -135,15 +135,37 @@ def parallel_map(
             for i in pending:
                 results[i] = _run_serial(job_list[i], i, label_of[i])
         else:
+            from repro.obs import runtime as obs_runtime
+            from repro.obs.events import HARNESS_CLOCK
             from repro.perf.pool import map_on_pool
 
-            results.update(
-                map_on_pool(
-                    [(i, job_list[i]) for i in pending],
-                    label_of,
-                    max_workers,
+            session = obs_runtime.active()
+            span = None
+            if session.tracer.enabled:
+                # Harness-clock span bracketing the whole fan-out, so a
+                # stitched timeline shows the coordinator waiting while
+                # the worker rows do the simulating.
+                span = session.tracer.span(
+                    "parallel.dispatch",
+                    start=session.harness_time(),
+                    track="perf.pool",
+                    category="harness",
+                    clock=HARNESS_CLOCK,
+                    jobs=len(pending),
+                    workers=max_workers,
                 )
-            )
+            try:
+                results.update(
+                    map_on_pool(
+                        [(i, job_list[i]) for i in pending],
+                        label_of,
+                        max_workers,
+                    )
+                )
+            finally:
+                if span is not None:
+                    span.finish(session.harness_time())
+                    span.close()
         if cache is not None:
             for i in pending:
                 key = keys.get(i)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.stitch import WorkerTrace
 from repro.perf.timing import Stopwatch
 from repro.workloads.kernel import KernelSpec
 
@@ -91,6 +92,11 @@ class ExperimentOutcome:
     (:class:`repro.obs.metrics.MetricsSnapshot`), so the outcome stays
     picklable (LINT012) and the coordinator can fold snapshots from any
     number of workers with :func:`repro.obs.metrics.merge_snapshots`.
+    ``trace`` (when the job ran with ``trace=True``) is the job's whole
+    span/event buffer as a :class:`repro.obs.stitch.WorkerTrace` — the
+    coordinator stamps the job index via
+    :meth:`~repro.obs.stitch.WorkerTrace.with_first_index` before
+    stitching, since the worker does not know it.
     """
 
     name: str
@@ -98,6 +104,7 @@ class ExperimentOutcome:
     elapsed: float
     csv_count: int = 0
     metrics_snapshot: Optional[MetricsSnapshot] = None
+    trace: Optional[WorkerTrace] = None
 
 
 @dataclass(frozen=True)
@@ -113,20 +120,26 @@ class ExperimentJob:
     :class:`PressureSweepJob` granularity (shared across experiments).
 
     With ``metrics=True`` the worker activates its own observability
-    session (metrics only — trace buffers are too heavy to ship) and
-    returns the registry snapshot in the outcome.
+    session and returns the registry snapshot in the outcome; with
+    ``trace=True`` the session also buffers spans/events, shipped back
+    as the outcome's :class:`~repro.obs.stitch.WorkerTrace`. The job
+    owns its whole session (rather than riding the pool chunk session)
+    because one experiment is the natural stitching unit when whole
+    experiments are the jobs being fanned out.
     """
 
     name: str
     out_dir: Optional[str] = None
     csv: bool = False
     metrics: bool = False
+    trace: bool = False
     sim_cache_dir: Optional[str] = None
 
     def describe(self) -> str:
         return f"experiment:{self.name}"
 
     def run(self) -> ExperimentOutcome:
+        import os
         from pathlib import Path
 
         from repro.experiments.runner import get_runner, save_result_csvs
@@ -140,17 +153,31 @@ class ExperimentJob:
             activate_sim_cache(self.sim_cache_dir)
         watch = Stopwatch()
         snapshot: Optional[MetricsSnapshot] = None
-        if self.metrics:
+        trace: Optional[WorkerTrace] = None
+        if self.metrics or self.trace:
             from repro.obs import runtime as obs_runtime
             from repro.obs.runtime import ObsSession
+            from repro.obs.stitch import buffer_from_session
+            from repro.perf.pool import worker_spawn_anchor
 
-            session = ObsSession(trace=False, metrics=True)
+            session = ObsSession(trace=self.trace, metrics=self.metrics)
             obs_runtime.activate(session)
             try:
                 result = get_runner(self.name)()
             finally:
                 obs_runtime.deactivate()
-            snapshot = session.metrics.snapshot()
+            if self.metrics:
+                snapshot = session.metrics.snapshot()
+            if self.trace:
+                events, spans = buffer_from_session(session.tracer.buffer)
+                trace = WorkerTrace(
+                    worker_pid=os.getpid(),
+                    spawn_anchor=worker_spawn_anchor(),
+                    anchor=session.anchor,
+                    first_index=0,
+                    events=events,
+                    spans=spans,
+                )
         else:
             result = get_runner(self.name)()
         report = result.render()
@@ -168,4 +195,5 @@ class ExperimentJob:
             elapsed=elapsed,
             csv_count=csv_count,
             metrics_snapshot=snapshot,
+            trace=trace,
         )

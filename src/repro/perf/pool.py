@@ -25,7 +25,13 @@ process-global pool alive for the whole run:
 - **exact metrics** — when the coordinator has an active metrics
   session, each chunk runs under a worker-side session and returns a
   :class:`repro.obs.metrics.MetricsSnapshot` that the coordinator
-  absorbs, so ``repro.obs`` counters match the serial path exactly.
+  absorbs, so ``repro.obs`` counters match the serial path exactly;
+- **trace shipping** — when the coordinator has an active *trace*
+  session, each chunk also buffers spans/events worker-side and ships
+  them back as a :class:`repro.obs.stitch.WorkerTrace` riding the same
+  outcome payload as the metrics snapshot; the coordinator absorbs them
+  into its session for cross-process stitching
+  (:func:`repro.obs.stitch.align_workers`).
 
 Results are bit-identical to the serial path by contract: jobs are
 pure, deterministic float math and do not depend on which process (or
@@ -42,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import JobFailedError, SimulationError
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.stitch import WorkerTrace, buffer_from_session
 
 #: SoC names whose engines the pool initializer pre-seeds in every
 #: worker. Construction is cheap; the payoff is that the shared
@@ -59,6 +66,25 @@ _POOL_PID = -1
 _POOL_GENERATION = 0
 _WARM_SOCS: Tuple[str, ...] = DEFAULT_WARM_SOCS
 
+#: Monotonic anchor recorded once per worker by the pool initializer —
+#: the "clock offset recorded at pool spawn" that worker traces carry
+#: back for stitching. 0.0 only before the initializer has run.
+_WORKER_SPAWN_ANCHOR = 0.0
+
+#: Fork-safety declaration (LINT016): each of these is deliberately
+#: per-process. The pool handle never survives a fork (``get_pool``
+#: drops inherited handles) and the spawn anchor is *about* the worker
+#: process that recorded it — coordinator-side visibility would be
+#: meaningless.
+_PROCESS_LOCAL_STATE = (
+    "_POOL",
+    "_POOL_WORKERS",
+    "_POOL_PID",
+    "_POOL_GENERATION",
+    "_WARM_SOCS",
+    "_WORKER_SPAWN_ANCHOR",
+)
+
 
 @dataclass(frozen=True)
 class _JobFailure:
@@ -73,19 +99,24 @@ class _JobFailure:
 
 @dataclass(frozen=True)
 class _ChunkOutcome:
-    """What one worker chunk sends back: results, first failure, metrics."""
+    """One worker chunk's payload: results, first failure, metrics, trace."""
 
     results: Tuple[Tuple[int, object], ...]
     failure: Optional[_JobFailure]
     snapshot: Optional[MetricsSnapshot]
+    trace: Optional[WorkerTrace]
 
 
 def _warm_worker(warm_socs: Tuple[str, ...]) -> None:
     """Pool initializer: run once in every worker process."""
+    global _WORKER_SPAWN_ANCHOR
+
     from repro.perf.executor import set_default_max_workers
+    from repro.perf.timing import monotonic_anchor
 
     # This worker is the unit of parallelism — never fork a nested pool.
     set_default_max_workers(1)
+    _WORKER_SPAWN_ANCHOR = monotonic_anchor()
     from repro.experiments.common import engine_for
 
     for name in warm_socs:
@@ -96,6 +127,7 @@ def _run_chunk(
     indexed_jobs: Sequence[Tuple[int, object]],
     labels: Sequence[str],
     collect_metrics: bool,
+    collect_trace: bool = False,
 ) -> _ChunkOutcome:
     """Run one chunk of (index, job) pairs inside a worker.
 
@@ -106,11 +138,11 @@ def _run_chunk(
     import traceback as tb
 
     session = None
-    if collect_metrics:
+    if collect_metrics or collect_trace:
         from repro.obs import runtime as obs_runtime
         from repro.obs.runtime import ObsSession
 
-        session = ObsSession(trace=False, metrics=True)
+        session = ObsSession(trace=collect_trace, metrics=collect_metrics)
         obs_runtime.activate(session)
     results: List[Tuple[int, object]] = []
     failure: Optional[_JobFailure] = None
@@ -132,9 +164,27 @@ def _run_chunk(
             from repro.obs import runtime as obs_runtime
 
             obs_runtime.deactivate()
-    snapshot = session.metrics.snapshot() if session is not None else None
+    snapshot = (
+        session.metrics.snapshot()
+        if session is not None and collect_metrics
+        else None
+    )
+    trace = None
+    if session is not None and collect_trace:
+        events, spans = buffer_from_session(session.tracer.buffer)
+        trace = WorkerTrace(
+            worker_pid=os.getpid(),
+            spawn_anchor=_WORKER_SPAWN_ANCHOR,
+            anchor=session.anchor,
+            first_index=min(index for index, _ in indexed_jobs),
+            events=events,
+            spans=spans,
+        )
     return _ChunkOutcome(
-        results=tuple(results), failure=failure, snapshot=snapshot
+        results=tuple(results),
+        failure=failure,
+        snapshot=snapshot,
+        trace=trace,
     )
 
 
@@ -205,6 +255,15 @@ def pool_generation() -> int:
     return _POOL_GENERATION
 
 
+def worker_spawn_anchor() -> float:
+    """This process's spawn anchor (0.0 outside a pool worker).
+
+    Jobs that ship their own :class:`~repro.obs.stitch.WorkerTrace`
+    (rather than riding the chunk session) read it here.
+    """
+    return _WORKER_SPAWN_ANCHOR
+
+
 atexit.register(shutdown_pool)
 
 
@@ -239,7 +298,9 @@ def map_on_pool(
     """
     from repro.obs import runtime as obs_runtime
 
-    collect_metrics = obs_runtime.active().metrics.enabled
+    session = obs_runtime.active()
+    collect_metrics = session.metrics.enabled
+    collect_trace = session.tracer.enabled
     workers = min(max_workers, len(indexed_jobs))
     pool = get_pool(workers)
     size = _chunk_size(len(indexed_jobs), workers)
@@ -248,10 +309,14 @@ def map_on_pool(
         chunk = indexed_jobs[start : start + size]
         chunk_labels = [labels[index] for index, _ in chunk]
         futures.append(
-            pool.submit(_run_chunk, chunk, chunk_labels, collect_metrics)
+            pool.submit(
+                _run_chunk, chunk, chunk_labels, collect_metrics,
+                collect_trace,
+            )
         )
     results: Dict[int, object] = {}
     snapshots: List[MetricsSnapshot] = []
+    traces: List[WorkerTrace] = []
     pending = set(futures)
     failure: Optional[_JobFailure] = None
     pool_error: Optional[BaseException] = None
@@ -264,6 +329,8 @@ def map_on_pool(
                     results[index] = value
                 if outcome.snapshot is not None:
                     snapshots.append(outcome.snapshot)
+                if outcome.trace is not None:
+                    traces.append(outcome.trace)
                 if outcome.failure is not None and failure is None:
                     failure = outcome.failure
             if failure is not None:
@@ -280,9 +347,11 @@ def map_on_pool(
             # parallel_map starts a fresh one.
             shutdown_pool()
     if collect_metrics and snapshots:
-        registry = obs_runtime.active().metrics
+        registry = session.metrics
         for snapshot in snapshots:
             registry.absorb(snapshot)
+    for trace in traces:
+        session.absorb_worker_trace(trace)
     if failure is not None:
         _raise_failure(failure)
     return results
@@ -297,4 +366,5 @@ __all__ = [
     "pool_size",
     "shutdown_pool",
     "warm_socs",
+    "worker_spawn_anchor",
 ]

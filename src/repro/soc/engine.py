@@ -292,6 +292,7 @@ class CoRunEngine:
         self,
         tracer,
         soc_track: str,
+        pu_tracks: Dict[str, str],
         now: float,
         dt: float,
         step: int,
@@ -299,35 +300,61 @@ class CoRunEngine:
         grants: Tuple[StreamGrant, ...],
         misses_before: int,
     ) -> None:
-        """Emit one epoch span plus per-PU arbitration events."""
-        epoch = tracer.span(
+        """Emit one epoch span plus per-PU arbitration events.
+
+        Once-per-epoch hot path: uses the tracer's pre-frozen
+        ``emit_*`` API with alphabetically ordered arg tuples and the
+        track strings interned once per corun — no dict build or sort
+        per emission. Epoch spans sit at depth 1 under the long-lived
+        ``corun`` span.
+        """
+        resolve_hit = self.resolve_stats.misses == misses_before
+        tracer.emit_span(
             "epoch",
             start=now,
+            end=now + dt,
             track=soc_track,
             category="soc",
-            step=step,
-            active=len(runnable),
-            resolve_hit=self.resolve_stats.misses == misses_before,
+            args=(
+                ("active", len(runnable)),
+                ("resolve_hit", resolve_hit),
+                ("step", step),
+            ),
+            depth=1,
         )
-        epoch.finish(now + dt)
-        epoch.close()
+        if not resolve_hit:
+            # A real fixed-point solve happened this step (zero sim
+            # duration: resolution is instantaneous in simulated time,
+            # but the profiler attributes the solve count per phase).
+            tracer.emit_span(
+                "memsys.resolve",
+                start=now,
+                end=now,
+                track=soc_track,
+                category="soc",
+                args=(("streams", len(runnable)),),
+                depth=2,
+            )
         for name, grant in zip(runnable, grants):
             # The fairness decision of this epoch: a capped stream was
             # held below its demand by the allocator's max-min filling.
-            tracer.event(
+            tracer.emit_event(
                 "grant",
                 time=now,
-                track=f"pu.{name}",
+                track=pu_tracks[name],
                 category="soc",
-                demand=grant.demand,
-                granted=grant.granted,
-                capped=grant.granted + _MIN_RATE < grant.demand,
-                latency_ns=grant.latency_ns,
+                args=(
+                    ("capped", grant.granted + _MIN_RATE < grant.demand),
+                    ("demand", grant.demand),
+                    ("granted", grant.granted),
+                    ("latency_ns", grant.latency_ns),
+                ),
             )
 
     @staticmethod
     def _trace_transitions(
         tracer,
+        pu_tracks: Dict[str, str],
         now: float,
         runnable: List[str],
         states: Dict[str, "_StreamState"],
@@ -354,21 +381,23 @@ class CoRunEngine:
             if tracer is None:
                 continue
             if just_finished:
-                tracer.event(
+                tracer.emit_event(
                     "kernel.finished",
                     time=now,
-                    track=f"pu.{name}",
+                    track=pu_tracks[name],
                     category="soc",
-                    kernel=state.profile.kernel_name,
+                    args=(("kernel", state.profile.kernel_name),),
                 )
             elif changed:
-                tracer.event(
+                tracer.emit_event(
                     "phase.transition",
                     time=now,
-                    track=f"pu.{name}",
+                    track=pu_tracks[name],
                     category="soc",
-                    phase=state.phase_index,
-                    loops_done=state.loops_done,
+                    args=(
+                        ("loops_done", state.loops_done),
+                        ("phase", state.phase_index),
+                    ),
                 )
         return transitions
 
@@ -437,6 +466,11 @@ class CoRunEngine:
         metrics_on = session.metrics.enabled
         observing = trace_on or metrics_on
         soc_track = f"soc.{self.soc.name}"
+        # Track strings interned once per corun so per-epoch emissions
+        # never re-format them (satellite of the obs v2 overhead work).
+        pu_tracks = (
+            {n: f"pu.{n}" for n in order} if trace_on else {}
+        )
         steps = 0
         phase_transitions = 0
         hits_before = self.resolve_stats.hits
@@ -486,8 +520,8 @@ class CoRunEngine:
             dt = min(dt, max_seconds - now)
             if trace_on:
                 self._trace_epoch(
-                    tracer, soc_track, now, dt, steps, runnable,
-                    grants, step_misses,
+                    tracer, soc_track, pu_tracks, now, dt, steps,
+                    runnable, grants, step_misses,
                 )
             if observing:
                 before = {
@@ -504,7 +538,8 @@ class CoRunEngine:
                 states[n].advance(rates[n] * 1e9 * dt, now)
             if observing:
                 phase_transitions += self._trace_transitions(
-                    tracer if trace_on else None, now, runnable, states, before
+                    tracer if trace_on else None, pu_tracks, now,
+                    runnable, states, before,
                 )
             done_victims = [v for v in victims if states[v].finished]
             if until == "first" and done_victims:

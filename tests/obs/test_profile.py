@@ -1,0 +1,171 @@
+"""Deterministic profiler: attribution algebra and byte-stability.
+
+The unit tests drive :func:`repro.obs.profile.build_profile` over
+hand-built buffers where the right answer is computable by eye:
+self = duration minus the *union* (not sum) of direct children, one
+tree per simulation even when simulated time restarts at zero. The
+determinism tests then require the profile of a real co-run to be
+byte-stable across runs and invisible to the simulation itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.events import HARNESS_CLOCK, SIM_CLOCK, Span, TraceBuffer
+from repro.obs.profile import build_profile
+from repro.soc.configs import soc_by_name
+from repro.soc.engine import CoRunEngine
+from repro.workloads.kernel import single_phase_kernel
+
+
+def _span(name, start, end, track="t", depth=0, clock=SIM_CLOCK):
+    return Span(name=name, start=start, end=end, track=track,
+                category="c", args=(), clock=clock, depth=depth)
+
+
+def _buffer(*spans):
+    return TraceBuffer(events=[], spans=list(spans))
+
+
+class TestAttribution:
+    def test_self_subtracts_union_of_overlapping_children(self):
+        # Children [0,4] and [3,6] overlap: union is 6s, not 7s.
+        profile = build_profile(_buffer(
+            _span("a", 0.0, 4.0, depth=1),
+            _span("b", 3.0, 6.0, depth=1),
+            _span("root", 0.0, 10.0, depth=0),
+        ))
+        root = profile.nodes[("t", "root")]
+        assert root.cum_ns == 10_000_000_000
+        assert root.self_ns == 4_000_000_000
+        assert profile.nodes[("t", "root", "a")].self_ns == 4_000_000_000
+
+    def test_paths_are_rooted_at_the_track(self):
+        profile = build_profile(_buffer(
+            _span("leaf", 0.0, 1.0, depth=2),
+            _span("mid", 0.0, 2.0, depth=1),
+            _span("root", 0.0, 3.0, depth=0),
+        ))
+        assert set(profile.nodes) == {
+            ("t", "root"),
+            ("t", "root", "mid"),
+            ("t", "root", "mid", "leaf"),
+        }
+
+    def test_harness_spans_are_excluded(self):
+        profile = build_profile(_buffer(
+            _span("host", 0.0, 5.0, clock=HARNESS_CLOCK),
+            _span("sim", 0.0, 1.0),
+        ))
+        assert set(profile.nodes) == {("t", "sim")}
+        assert profile.span_count == 1
+
+    def test_tracks_do_not_bleed_into_each_other(self):
+        profile = build_profile(_buffer(
+            _span("r", 0.0, 1.0, track="a"),
+            _span("r", 0.0, 2.0, track="b"),
+        ))
+        assert profile.nodes[("a", "r")].cum_ns == 1_000_000_000
+        assert profile.nodes[("b", "r")].cum_ns == 2_000_000_000
+
+
+class TestSimulationSegmentation:
+    """Sim time restarts at zero each run; trees must not entangle."""
+
+    def test_two_simulations_on_one_track_stay_separate(self):
+        # Emission order: each simulation's children precede its root
+        # (roots close last). Both roots start at t=0 — without
+        # segmentation the second root would adopt both children.
+        profile = build_profile(_buffer(
+            _span("child", 0.0, 4.0, depth=1),
+            _span("root", 0.0, 10.0, depth=0),
+            _span("child", 0.0, 7.0, depth=1),
+            _span("root", 0.0, 10.0, depth=0),
+        ))
+        root = profile.nodes[("t", "root")]
+        assert root.count == 2
+        assert root.cum_ns == 20_000_000_000
+        # Each root keeps only its own child: (10-4) + (10-7).
+        assert root.self_ns == 9_000_000_000
+        assert profile.nodes[("t", "root", "child")].count == 2
+
+    def test_orphan_depths_clamp_to_available_stack(self):
+        # A truncated buffer may hold a depth-2 span with no parents.
+        profile = build_profile(_buffer(_span("deep", 0.0, 1.0, depth=2)))
+        assert set(profile.nodes) == {("t", "deep")}
+
+
+class TestCollapsedStacks:
+    def test_format_is_semicolon_paths_with_integer_ns(self):
+        profile = build_profile(_buffer(
+            _span("a", 0.0, 1.0, depth=1),
+            _span("root", 0.0, 3.0, depth=0),
+        ))
+        lines = profile.collapsed_stacks().splitlines()
+        assert lines == [
+            "t;root 2000000000",
+            "t;root;a 1000000000",
+        ]
+
+    def test_top_table_ranks_by_self_time(self):
+        profile = build_profile(_buffer(
+            _span("small", 0.0, 1.0),
+            _span("big", 0.0, 5.0),
+        ))
+        rendered = profile.top_table(limit=1)
+        assert "big" in rendered
+        assert "small" not in rendered
+
+
+def _soc_run():
+    engine = CoRunEngine(soc_by_name("xavier-agx"))
+    victim = single_phase_kernel("prof-victim", 2.0, traffic_gb=0.5)
+    pressure = single_phase_kernel("prof-pressure", 0.5, traffic_gb=0.5)
+    return engine.corun(
+        {"gpu": victim, "cpu": pressure},
+        looping=("cpu",),
+        until="first",
+        record_timeline=True,
+    )
+
+
+def _traced_run():
+    with obs_runtime.session(trace=True) as sess:
+        result = _soc_run()
+        buffer = sess.tracer.buffer
+    return result, buffer
+
+
+class TestRealRunDeterminism:
+    def test_profile_is_byte_stable_across_runs(self):
+        _, first = _traced_run()
+        _, second = _traced_run()
+        stacks = build_profile(first).collapsed_stacks()
+        assert stacks == build_profile(second).collapsed_stacks()
+        assert stacks, "profile of a real co-run must not be empty"
+
+    def test_profiling_does_not_perturb_the_simulation(self):
+        untraced = json.dumps(
+            dataclasses.asdict(_soc_run()), indent=2, sort_keys=True
+        )
+        result, buffer = _traced_run()
+        build_profile(buffer)  # post-hoc aggregation touches nothing
+        traced = json.dumps(
+            dataclasses.asdict(result), indent=2, sort_keys=True
+        )
+        assert traced == untraced
+
+    def test_epochs_cover_their_corun(self):
+        _, buffer = _traced_run()
+        profile = build_profile(buffer)
+        corun = next(
+            node for path, node in profile.nodes.items()
+            if path[-1] == "corun"
+        )
+        # Epochs tile the whole co-run, so the parent keeps (almost)
+        # no self time; integer-ns rounding can leave a sliver.
+        assert corun.self_ns <= corun.count  # <= 1ns per corun
+        assert corun.cum_ns > 0

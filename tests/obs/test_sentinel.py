@@ -1,0 +1,213 @@
+"""Performance-regression sentinel: ratchet semantics and CLI gate.
+
+The unit tests pin the comparison algebra (ratio normalized so > 1.0
+is always "worse", unrecorded benchmarks never fail, thresholds parse
+strictly). The CLI tests drive ``pccs bench record`` / ``pccs bench
+compare`` end to end against a temp results directory, including the
+injected-regression negative test CI relies on: a 2x-slower result
+must exit nonzero, an unchanged tree must exit zero.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs.sentinel import (
+    BenchResult,
+    append_history,
+    compare_results,
+    load_history,
+    load_results,
+    parse_thresholds,
+)
+
+
+def _write_result(directory, name, seconds=None, speedup=None):
+    payload = {"name": name, "seconds": seconds, "speedup": speedup}
+    (directory / f"{name}.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+
+
+class TestLoadResults:
+    def test_reads_every_json_in_directory(self, tmp_path):
+        _write_result(tmp_path, "alpha", seconds=1.0)
+        _write_result(tmp_path, "beta", speedup=3.5)
+        results = load_results(str(tmp_path))
+        assert set(results) == {"alpha", "beta"}
+        assert results["alpha"].seconds == 1.0
+        assert results["beta"].speedup == 3.5
+
+    def test_missing_directory_raises_obs_error(self, tmp_path):
+        with pytest.raises(ObsError):
+            load_results(str(tmp_path / "nope"))
+
+    def test_invalid_metric_raises_obs_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"name": "bad", "seconds": -1.0}), encoding="utf-8"
+        )
+        with pytest.raises(ObsError):
+            load_results(str(tmp_path))
+
+    def test_missing_name_raises_obs_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(ObsError):
+            load_results(str(tmp_path))
+
+
+class TestHistory:
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "history.jsonl")) == {}
+
+    def test_append_then_load_roundtrips(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        count = append_history(
+            str(path), [BenchResult("a", seconds=1.0)]
+        )
+        assert count == 1
+        latest = load_history(str(path))
+        assert latest["a"].seconds == 1.0
+        # Every line carries provenance, never a timestamp.
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert "code_version" in record["provenance"]
+        assert "timestamp" not in record["provenance"]
+
+    def test_later_lines_win(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), [BenchResult("a", seconds=1.0)])
+        append_history(str(path), [BenchResult("a", seconds=2.0)])
+        assert load_history(str(path))["a"].seconds == 2.0
+
+
+class TestCompareResults:
+    def test_slower_seconds_beyond_threshold_regresses(self):
+        comparisons = compare_results(
+            {"a": BenchResult("a", seconds=2.0)},
+            {"a": BenchResult("a", seconds=1.0)},
+        )
+        (comparison,) = comparisons
+        assert comparison.ratio == 2.0
+        assert comparison.regressed
+
+    def test_lower_speedup_regresses(self):
+        (comparison,) = compare_results(
+            {"a": BenchResult("a", speedup=2.0)},
+            {"a": BenchResult("a", speedup=4.0)},
+        )
+        assert comparison.ratio == 2.0  # baseline/current: > 1 is worse
+        assert comparison.regressed
+
+    def test_noise_within_threshold_passes(self):
+        (comparison,) = compare_results(
+            {"a": BenchResult("a", seconds=1.4)},
+            {"a": BenchResult("a", seconds=1.0)},
+        )
+        assert not comparison.regressed
+
+    def test_unrecorded_benchmark_is_skipped(self):
+        comparisons = compare_results(
+            {"new": BenchResult("new", seconds=9.9)}, {}
+        )
+        assert comparisons == []
+
+    def test_per_benchmark_threshold_override(self):
+        (comparison,) = compare_results(
+            {"a": BenchResult("a", seconds=1.4)},
+            {"a": BenchResult("a", seconds=1.0)},
+            thresholds={"a": 1.3},
+        )
+        assert comparison.regressed
+
+    def test_improvement_never_regresses(self):
+        (comparison,) = compare_results(
+            {"a": BenchResult("a", seconds=0.1)},
+            {"a": BenchResult("a", seconds=1.0)},
+        )
+        assert not comparison.regressed
+
+
+class TestParseThresholds:
+    def test_parses_name_factor_pairs(self):
+        assert parse_thresholds(["obs=1.3", "pool=2"]) == {
+            "obs": 1.3, "pool": 2.0,
+        }
+
+    @pytest.mark.parametrize(
+        "spec", ["obs", "obs=", "=1.3", "obs=abc", "obs=1.0", "obs=0.5"]
+    )
+    def test_rejects_malformed_or_non_ratchet_specs(self, spec):
+        with pytest.raises(ObsError):
+            parse_thresholds([spec])
+
+
+class TestBenchCli:
+    """``pccs bench`` end to end — the CI gate in miniature."""
+
+    def _setup(self, tmp_path, seconds):
+        results = tmp_path / "results"
+        results.mkdir()
+        _write_result(results, "sim", seconds=seconds)
+        return results, tmp_path / "history.jsonl"
+
+    def test_record_then_compare_clean_tree_exits_zero(
+        self, tmp_path, capsys
+    ):
+        results, history = self._setup(tmp_path, seconds=1.0)
+        assert main(["bench", "record", "--results", str(results),
+                     "--history", str(history)]) == 0
+        assert main(["bench", "compare", "--results", str(results),
+                     "--history", str(history)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        results, history = self._setup(tmp_path, seconds=1.0)
+        main(["bench", "record", "--results", str(results),
+              "--history", str(history)])
+        _write_result(results, "sim", seconds=2.0)  # inject 2x slowdown
+        code = main(["bench", "compare", "--results", str(results),
+                     "--history", str(history)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_compare_without_history_skips_and_passes(
+        self, tmp_path, capsys
+    ):
+        results, history = self._setup(tmp_path, seconds=1.0)
+        assert main(["bench", "compare", "--results", str(results),
+                     "--history", str(history)]) == 0
+        assert "not in the history yet" in capsys.readouterr().out
+
+    def test_baseline_directory_overrides_history(self, tmp_path, capsys):
+        results, history = self._setup(tmp_path, seconds=2.0)
+        baseline = tmp_path / "baseline"
+        baseline.mkdir()
+        _write_result(baseline, "sim", seconds=1.0)
+        code = main(["bench", "compare", "--results", str(results),
+                     "--baseline", str(baseline),
+                     "--history", str(history)])
+        assert code == 1
+        capsys.readouterr()
+
+    def test_threshold_override_loosens_the_gate(self, tmp_path, capsys):
+        results, history = self._setup(tmp_path, seconds=1.0)
+        main(["bench", "record", "--results", str(results),
+              "--history", str(history)])
+        _write_result(results, "sim", seconds=2.0)
+        code = main(["bench", "compare", "--results", str(results),
+                     "--history", str(history),
+                     "--threshold", "sim=3.0"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_bad_results_directory_exits_two(self, tmp_path, capsys):
+        code = main(["bench", "compare",
+                     "--results", str(tmp_path / "missing"),
+                     "--history", str(tmp_path / "history.jsonl")])
+        assert code == 2
+        capsys.readouterr()

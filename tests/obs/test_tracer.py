@@ -123,3 +123,59 @@ class TestSpanNesting:
         with tracer.span("s", start=0.0, track="t") as span:
             span.finish(1.0)
         assert len(tracer.buffer) == 2
+
+
+class TestFastPathEquivalence:
+    """emit_event/emit_span must append records identical to the
+    keyword path's — hot emitters pre-freeze args, consumers must not
+    be able to tell which path produced a record."""
+
+    def test_emit_event_matches_keyword_event(self):
+        keyword, fast = Tracer(), Tracer()
+        keyword.event("grant", time=0.5, track="pu.gpu", category="soc",
+                      demand=2.0, capped=True, pu="gpu")
+        fast.emit_event(
+            "grant", 0.5, "pu.gpu", "soc",
+            args=(("capped", True), ("demand", 2.0), ("pu", "gpu")),
+        )
+        assert fast.buffer.events == keyword.buffer.events
+
+    def test_emit_event_args_match_freeze_args_order(self):
+        # The fast path trusts the caller to pre-sort; the contract is
+        # "exactly what freeze_args would have produced".
+        kwargs = {"row": 3, "bank": 1, "core": 0}
+        tracer = Tracer()
+        tracer.emit_event("req.enqueue", 0.0, "dram.ch0", "dram",
+                          args=freeze_args(kwargs))
+        keyword = Tracer()
+        keyword.event("req.enqueue", time=0.0, track="dram.ch0",
+                      category="dram", **kwargs)
+        assert tracer.buffer.events == keyword.buffer.events
+
+    def test_emit_span_matches_closed_keyword_span(self):
+        keyword, fast = Tracer(), Tracer()
+        with keyword.span("req", start=1.0, track="dram.ch0",
+                          category="dram", outcome="hit", bank=2) as span:
+            span.finish(2.5)
+        fast.emit_span(
+            "req", 1.0, 2.5, "dram.ch0", "dram",
+            args=(("bank", 2), ("outcome", "hit")),
+        )
+        assert fast.buffer.spans == keyword.buffer.spans
+
+    def test_emit_span_depth_matches_nested_keyword_span(self):
+        keyword, fast = Tracer(), Tracer()
+        with keyword.span("corun", start=0.0, track="soc") as outer:
+            with keyword.span("epoch", start=0.0, track="soc") as inner:
+                inner.finish(1.0)
+            outer.finish(2.0)
+        # Fast path replays the same nesting with explicit depths; the
+        # keyword parent still uses the counter, as the engines do.
+        with fast.span("corun", start=0.0, track="soc") as outer:
+            fast.emit_span("epoch", 0.0, 1.0, "soc", "span", depth=1)
+            outer.finish(2.0)
+        assert fast.buffer.spans == keyword.buffer.spans
+
+    def test_emit_on_null_tracer_is_a_noop(self):
+        assert NULL_TRACER.emit_event("e", 0.0, "t", "c") is None
+        assert NULL_TRACER.emit_span("s", 0.0, 1.0, "t", "c") is None
