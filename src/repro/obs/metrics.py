@@ -142,6 +142,19 @@ class MetricsSnapshot:
                 return value
         return 0.0
 
+    def counters_with_prefix(self, prefix: str) -> Tuple[Tuple[str, float], ...]:
+        """Counters under a namespace (e.g. ``"perf.simcache."``).
+
+        Robustness tests use this to assert on a whole counter family
+        (``pool.*``, ``jobs.*``) at once — sorted by name, like every
+        snapshot view.
+        """
+        return tuple(
+            (key, value)
+            for key, value in self.counters
+            if key.startswith(prefix)
+        )
+
 
 class MetricsRegistry:
     """Get-or-create instrument store with deterministic export order."""

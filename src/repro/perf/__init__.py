@@ -8,7 +8,10 @@ Public surface:
 - :func:`set_default_max_workers` / :func:`default_max_workers` — the
   process-global ``--jobs`` default experiments consult;
 - :mod:`repro.perf.pool` — the persistent warm worker pool
-  (:func:`shutdown_pool`, :func:`pool_size`, :func:`pool_generation`);
+  (:func:`shutdown_pool`, :func:`pool_size`, :func:`pool_generation`)
+  and its worker-loss recovery policy (:class:`RecoveryPolicy`,
+  :func:`set_recovery_policy`, :func:`recovery_policy`,
+  :func:`recovery_counters`);
 - :mod:`repro.perf.simcache` — the content-addressed simulation result
   cache behind ``--sim-cache`` (:class:`SimCache`,
   :func:`activate_sim_cache`, :func:`active_sim_cache`,
@@ -29,9 +32,13 @@ from repro.perf.executor import (
 )
 from repro.perf.jobs import ExperimentJob, ExperimentOutcome, PressureSweepJob
 from repro.perf.pool import (
+    RecoveryPolicy,
     configure_warm_socs,
     pool_generation,
     pool_size,
+    recovery_counters,
+    recovery_policy,
+    set_recovery_policy,
     shutdown_pool,
 )
 from repro.perf.simcache import (
@@ -44,6 +51,7 @@ from repro.perf.timing import Stopwatch, wall_clock_seconds
 
 __all__ = [
     "Job",
+    "RecoveryPolicy",
     "SimCache",
     "Stopwatch",
     "activate_sim_cache",
@@ -54,7 +62,10 @@ __all__ = [
     "parallel_map",
     "pool_generation",
     "pool_size",
+    "recovery_counters",
+    "recovery_policy",
     "set_default_max_workers",
+    "set_recovery_policy",
     "set_sim_cache",
     "shutdown_pool",
     "wall_clock_seconds",

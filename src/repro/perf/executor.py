@@ -14,11 +14,16 @@ Two subsystems cooperate underneath (both invisible in the results):
 
 - the **persistent warm worker pool** (:mod:`repro.perf.pool`): one
   process-global pool reused across every ``parallel_map`` call, with
-  chunked order-preserving submission and per-job failure attribution;
+  chunked order-preserving submission, per-job failure attribution,
+  and worker-loss recovery under the active
+  :class:`~repro.perf.pool.RecoveryPolicy` (lost jobs re-dispatched,
+  completed ones kept);
 - the **content-addressed simulation cache**
   (:mod:`repro.perf.simcache`): when a cache is active, jobs that
-  declare a ``signature()`` are looked up before dispatch and stored
-  after, so byte-identical re-runs skip the simulations entirely.
+  declare a ``signature()`` are looked up before dispatch and each
+  result is stored *as it arrives*, so byte-identical re-runs skip the
+  simulations entirely and an interrupted sweep resumes from its
+  completed jobs.
 
 Failures raise :class:`repro.errors.JobFailedError` carrying the job's
 index and label on both the serial and the pool path.
@@ -131,9 +136,19 @@ def parallel_map(
 
     pending = [i for i in range(len(job_list)) if i not in results]
     if pending:
+        # Stores are eager — each result is persisted as it arrives, not
+        # batched after the sweep — so an interrupted run (Ctrl-C, OOM
+        # kill) keeps every completed job and a later run with the same
+        # cache directory resumes from them (``runner --checkpoint``).
+        def _store_result(i: int, value: object) -> None:
+            key = keys.get(i)
+            if cache is not None and key is not None:
+                cache.store(key, value)
+
         if max_workers <= 1 or len(pending) == 1:
             for i in pending:
                 results[i] = _run_serial(job_list[i], i, label_of[i])
+                _store_result(i, results[i])
         else:
             from repro.obs import runtime as obs_runtime
             from repro.obs.events import HARNESS_CLOCK
@@ -160,15 +175,11 @@ def parallel_map(
                         [(i, job_list[i]) for i in pending],
                         label_of,
                         max_workers,
+                        on_result=_store_result,
                     )
                 )
             finally:
                 if span is not None:
                     span.finish(session.harness_time())
                     span.close()
-        if cache is not None:
-            for i in pending:
-                key = keys.get(i)
-                if key is not None:
-                    cache.store(key, results[i])
     return [results[i] for i in range(len(job_list))]

@@ -118,6 +118,12 @@ class ExperimentJob:
     re-activates the coordinator's simulation cache inside the worker,
     and the experiment's internal sweeps are cached at the
     :class:`PressureSweepJob` granularity (shared across experiments).
+    That same granularity carries retry and checkpoint semantics: if
+    this job is re-dispatched after a worker loss, or the whole run is
+    interrupted and restarted under ``runner --checkpoint``, the sweeps
+    already stored under ``sim_cache_dir`` are served from disk and
+    only the unfinished ones are recomputed — re-running the experiment
+    body itself is cheap, idempotent rendering on top of those results.
 
     With ``metrics=True`` the worker activates its own observability
     session and returns the registry snapshot in the outcome; with

@@ -17,9 +17,15 @@ There are no mtime heuristics and no partial keys: either the bytes of
 the inputs and the bytes of the code both match, or the entry is a
 miss. Entries are pickles under a sharded directory (git-object style,
 first two hex chars), written atomically (``tmp`` + ``replace``) so a
-killed run never leaves a truncated entry behind. The cache is
-advisory: corrupt, truncated, or schema-mismatched entries count as
-invalidations and are recomputed and overwritten.
+killed run never leaves a truncated entry behind. Tmp names embed the
+writer's pid plus a per-process monotonic counter, so concurrent pooled
+writers can never collide on (and ``replace`` each other's) the same
+tmp path; tmp files orphaned by a killed writer are swept when a cache
+opens on the directory. The cache is advisory in *both* directions:
+corrupt, truncated, or schema-mismatched entries count as
+invalidations and are recomputed and overwritten, and a store that
+fails at the OS level (disk full, read-only directory) degrades to
+"not cached" — counted as a store failure, never a crashed sweep.
 
 Hit/miss/store/invalidation counts live on the cache object and are
 mirrored into the active observability session's metrics registry
@@ -34,10 +40,15 @@ experiment artifacts.
 
 from __future__ import annotations
 
+import errno
 import hashlib
+import itertools
+import os
 import pickle
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
+
+from repro.robust import faults
 
 CACHE_DIR_NAME = ".sim-cache"
 CACHE_SCHEMA_VERSION = 1
@@ -46,13 +57,44 @@ _CODE_FINGERPRINT: Optional[str] = None
 
 _ACTIVE: Optional["SimCache"] = None
 
-#: Fork-safety declaration (LINT016): both globals are deliberately
+#: Per-process monotonic suffix for tmp names. Together with the pid it
+#: makes every in-flight tmp path unique across the whole pool — two
+#: caches in two workers can never ``replace`` each other's
+#: partially-written blob into the store.
+_TMP_COUNTER = itertools.count()
+
+#: Fork-safety declaration (LINT016): all three globals are deliberately
 #: per-process. The fingerprint is a deterministic pure function of the
-#: source tree (every process computes the same string), and the active
+#: source tree (every process computes the same string), the active
 #: cache is re-installed inside each worker by ``ExperimentJob.run`` —
 #: the processes converge on the same on-disk store, never on shared
-#: memory.
-_PROCESS_LOCAL_STATE = ("_ACTIVE", "_CODE_FINGERPRINT")
+#: memory — and the tmp counter only ever pairs with this process's own
+#: pid, so a forked child restarting at 0 is still unique.
+_PROCESS_LOCAL_STATE = ("_ACTIVE", "_CODE_FINGERPRINT", "_TMP_COUNTER")
+
+
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """The writer pid embedded in a tmp filename, if parseable."""
+    marker = ".tmp-"
+    start = name.find(marker)
+    if start < 0:
+        return None
+    parts = name[start + len(marker) :].split("-")
+    try:
+        return int(parts[0])
+    except (IndexError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM)
+    return True
 
 
 def code_fingerprint() -> str:
@@ -85,7 +127,28 @@ class SimCache:
         self.misses = 0
         self.stores = 0
         self.invalidations = 0
+        self.store_failures = 0
+        self.tmp_swept = 0
         self._fingerprint = code_fingerprint()
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove tmp files orphaned by killed writers.
+
+        A writer that dies between ``write_bytes`` and ``replace``
+        leaves its tmp behind forever (the unique names mean no later
+        store overwrites it). Tmp paths embedding a pid that is still
+        alive belong to a concurrent writer and are left alone.
+        """
+        for tmp in sorted(self.directory.glob("*/*.tmp*")):
+            pid = _tmp_writer_pid(tmp.name)
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                continue
+            try:
+                tmp.unlink()
+            except OSError:
+                continue
+            self.tmp_swept += 1
 
     # ------------------------------------------------------------------
     # Keys
@@ -149,7 +212,15 @@ class SimCache:
         return True, payload["result"]
 
     def store(self, key: str, result: Any) -> bool:
-        """Persist ``result`` under ``key``; ``False`` if unpicklable."""
+        """Persist ``result`` under ``key``.
+
+        Returns ``False`` without raising when the result is
+        unpicklable *or* the filesystem refuses the write (disk full,
+        read-only directory): the cache is advisory, so a failed store
+        degrades to "not cached" — counted in ``store_failures`` — and
+        the sweep's own result is unaffected. The tmp file is unlinked
+        on failure rather than leaked.
+        """
         entry = self._entry_path(key)
         payload = {
             "version": CACHE_SCHEMA_VERSION,
@@ -160,10 +231,29 @@ class SimCache:
             blob = pickle.dumps(payload)
         except Exception:  # noqa: BLE001 - uncacheable result, not an error
             return False
-        entry.parent.mkdir(parents=True, exist_ok=True)
-        tmp = entry.with_suffix(f".tmp{id(self) & 0xFFFF:x}")
-        tmp.write_bytes(blob)
-        tmp.replace(entry)
+        if faults.claim_store_corruption():
+            blob = faults.truncate_blob(blob)
+        tmp: Optional[Path] = None
+        try:
+            if faults.claim_store_failure():
+                raise OSError(errno.ENOSPC, "injected store failure")
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            # pid + per-process counter: unique across every concurrent
+            # writer in the pool (id(self) was not — see tests).
+            tmp = entry.parent / (
+                f"{entry.stem}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+            )
+            tmp.write_bytes(blob)
+            tmp.replace(entry)
+        except OSError:
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            self.store_failures += 1
+            self._mirror("store_failures")
+            return False
         self.stores += 1
         self._mirror("stores")
         return True
@@ -180,11 +270,16 @@ class SimCache:
             metrics.counter(f"perf.simcache.{which}").inc()
 
     def stats_line(self) -> str:
-        return (
+        line = (
             f"sim-cache: {self.hits} hit(s), {self.misses} miss(es), "
             f"{self.stores} store(s), {self.invalidations} "
-            f"invalidation(s) under {self.directory}"
+            f"invalidation(s)"
         )
+        if self.store_failures:
+            line += f", {self.store_failures} store failure(s)"
+        if self.tmp_swept:
+            line += f", {self.tmp_swept} stale tmp swept"
+        return line + f" under {self.directory}"
 
 
 # ----------------------------------------------------------------------

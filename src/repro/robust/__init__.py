@@ -1,0 +1,40 @@
+"""Failure recovery and fault injection for the sweep execution stack.
+
+The experiment pipeline's compute substrate — the persistent worker
+pool (:mod:`repro.perf.pool`) and the on-disk simulation cache
+(:mod:`repro.perf.simcache`) — must degrade gracefully under the
+failures real slowdown-measurement campaigns hit routinely: a worker
+OOM-killed mid-sweep, a disk that fills up under the cache, an entry
+torn by a crashed writer. This package holds the pieces that are not
+recovery *mechanism* (which lives where the failures happen, in
+``repro.perf``) but recovery *verification*:
+
+- :mod:`repro.robust.faults` — a deterministic, opt-in fault-injection
+  harness. Chaos tests install a :class:`~repro.robust.faults.FaultPlan`
+  (or set the ``PCCS_FAULTS`` environment variable) and the *real* pool
+  and *real* cache execute the failure paths — no mocks — while the
+  bit-identity contract (recovered run == clean run, byte for byte) is
+  asserted on the artifacts.
+
+Nothing here runs unless a plan is explicitly installed: every hook is
+a no-op returning in a couple of attribute reads when no plan is
+active, so production sweeps pay nothing for the harness.
+"""
+
+from repro.robust.faults import (
+    ENV_VAR,
+    FaultPlan,
+    active_plan,
+    clear_plan,
+    corrupt_entries,
+    install_plan,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "active_plan",
+    "clear_plan",
+    "corrupt_entries",
+    "install_plan",
+]

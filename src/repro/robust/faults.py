@@ -1,0 +1,334 @@
+"""Deterministic, seedable fault injection for the sweep stack.
+
+Chaos tests need to drive the *real* worker pool and the *real*
+simulation cache through their failure paths — a mocked
+``BrokenProcessPool`` proves nothing about whether a recovered sweep's
+artifacts are byte-identical to a clean run's. This module injects the
+failures themselves, deterministically, into live processes:
+
+- **kill-worker-after-k-jobs** — a pool worker ``SIGKILL``\\ s itself
+  after completing ``kill_after_jobs`` jobs (the pool sees exactly what
+  an OOM kill looks like), at most ``kill_limit`` workers in total;
+- **store failure** — the next ``fail_stores`` cache stores raise
+  ``OSError(ENOSPC)`` from inside :meth:`repro.perf.simcache.SimCache.store`,
+  exercising the degrade-to-not-cached path;
+- **store corruption** — the next ``corrupt_stores`` cache stores write
+  a truncated blob (a torn write), exercising the
+  invalidate-and-recompute path on the later lookup;
+- **job delay** — jobs whose indices appear in ``delay_indices`` sleep
+  ``delay_seconds`` before running (once each), exercising the
+  per-chunk deadline and retry path.
+
+**Activation is explicit.** A plan only takes effect via
+:func:`install_plan` (tests) or the ``PCCS_FAULTS`` environment
+variable holding the plan's JSON (CLI/CI chaos gates, inherited by pool
+workers). With no plan active every hook is a no-op guarded by a single
+module-global read.
+
+**Determinism.** Faults with a count budget (kills, store failures,
+corruptions, per-index delays) claim *tokens* — files created with
+``O_EXCL`` under the plan's ``token_dir`` — so exactly the planned
+number fire even across coordinator and worker processes, and a fault
+never re-fires on the retry of the work it disrupted. Index-targeted
+faults name their victims outright; :meth:`FaultPlan.randomized`
+derives a victim set from a seed for fuzz-style chaos runs, and the
+seed is recorded on the plan so a failing run reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Environment variable holding an installed plan's JSON. Pool workers
+#: inherit the coordinator's environment, so a plan installed (or
+#: exported) before the pool spawns is active inside every worker.
+ENV_VAR = "PCCS_FAULTS"
+
+_ACTIVE: Optional["FaultPlan"] = None
+_LOADED = False
+_JOBS_RUN = 0
+
+#: Fork-safety declaration (LINT016): all three are deliberately
+#: per-process. The active plan is re-read from the environment in each
+#: worker (or inherited by fork), and ``_JOBS_RUN`` counts the jobs
+#: *this* process has executed — the kill-after-k trigger is about the
+#: worker that runs the jobs, so coordinator-side visibility would be
+#: meaningless.
+_PROCESS_LOCAL_STATE = ("_ACTIVE", "_LOADED", "_JOBS_RUN")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One chaos run's worth of failures, fully determined up front."""
+
+    #: A worker SIGKILLs itself after completing this many jobs
+    #: (``None`` disables kill injection).
+    kill_after_jobs: Optional[int] = None
+    #: Total workers allowed to die across the whole run.
+    kill_limit: int = 1
+    #: Number of cache stores that raise ``OSError(ENOSPC)``.
+    fail_stores: int = 0
+    #: Number of cache stores that write a truncated (torn) blob.
+    corrupt_stores: int = 0
+    #: Job indices that sleep ``delay_seconds`` before running (once).
+    delay_indices: Tuple[int, ...] = ()
+    delay_seconds: float = 0.0
+    #: Directory for cross-process one-shot budget tokens. Required
+    #: whenever any budgeted fault above is configured.
+    token_dir: str = ""
+    #: Provenance for :meth:`randomized` plans (inert otherwise).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        budgeted = (
+            self.kill_after_jobs is not None
+            or self.fail_stores
+            or self.corrupt_stores
+            or self.delay_indices
+        )
+        if budgeted and not self.token_dir:
+            raise ConfigurationError(
+                "FaultPlan with budgeted faults needs a token_dir "
+                "(cross-process one-shot bookkeeping)"
+            )
+        if self.kill_after_jobs is not None and self.kill_after_jobs < 1:
+            raise ConfigurationError(
+                f"kill_after_jobs must be >= 1, got {self.kill_after_jobs}"
+            )
+        if self.delay_indices and self.delay_seconds <= 0:
+            raise ConfigurationError(
+                "delay_indices without a positive delay_seconds"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation (the PCCS_FAULTS environment hook)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["delay_indices"] = list(self.delay_indices)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"unparseable {ENV_VAR} fault plan: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"{ENV_VAR} fault plan must be a JSON object"
+            )
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan field(s): {', '.join(unknown)}"
+            )
+        if "delay_indices" in payload:
+            payload["delay_indices"] = tuple(
+                int(i) for i in payload["delay_indices"]
+            )
+        return cls(**payload)
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        n_jobs: int,
+        token_dir: Union[str, Path],
+        delay_seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """A seed-derived plan for fuzz-style chaos runs.
+
+        The same ``(seed, n_jobs)`` always yields the same plan; the
+        seed is recorded on the plan so a failing chaos run can be
+        replayed exactly.
+        """
+        rng = random.Random(seed)
+        kill_after = rng.randint(1, max(1, n_jobs // 2))
+        delays: Tuple[int, ...] = ()
+        if delay_seconds > 0 and n_jobs > 0:
+            delays = (rng.randrange(n_jobs),)
+        return cls(
+            kill_after_jobs=kill_after,
+            kill_limit=1,
+            delay_indices=delays,
+            delay_seconds=delay_seconds,
+            token_dir=str(token_dir),
+            seed=seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan lifecycle
+# ----------------------------------------------------------------------
+def install_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` in this process and export it for pool workers.
+
+    Must run before the pool spawns (call
+    :func:`repro.perf.pool.shutdown_pool` first if one is warm) for the
+    workers to see it; the coordinator-side hooks see it immediately.
+    """
+    global _ACTIVE, _LOADED
+    if plan.token_dir:
+        Path(plan.token_dir).mkdir(parents=True, exist_ok=True)
+    _ACTIVE = plan
+    _LOADED = True
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def clear_plan() -> None:
+    """Deactivate fault injection (process global and environment)."""
+    global _ACTIVE, _LOADED
+    _ACTIVE = None
+    _LOADED = True
+    os.environ.pop(ENV_VAR, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, or ``None`` — the one guard every hook uses.
+
+    Reads the environment once per process and memoizes, so the
+    no-plan fast path is two module-global reads.
+    """
+    global _ACTIVE, _LOADED
+    if not _LOADED:
+        raw = os.environ.get(ENV_VAR)
+        _ACTIVE = FaultPlan.from_json(raw) if raw else None
+        if _ACTIVE is not None and _ACTIVE.token_dir:
+            # An env-delivered plan (CLI chaos gate) has not been
+            # through install_plan; make the token directory here or
+            # every budgeted fault would silently fail to claim.
+            Path(_ACTIVE.token_dir).mkdir(parents=True, exist_ok=True)
+        _LOADED = True
+    return _ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Cross-process one-shot tokens
+# ----------------------------------------------------------------------
+def _claim(plan: FaultPlan, kind: str, limit: int) -> bool:
+    """Atomically claim one of ``limit`` tokens for ``kind``.
+
+    ``O_EXCL`` file creation under the plan's token directory makes the
+    budget exact across any number of processes; a spent budget (or an
+    unusable token directory) simply stops the fault from firing.
+    """
+    if limit <= 0 or not plan.token_dir:
+        return False
+    root = Path(plan.token_dir)
+    for i in range(limit):
+        token = root / f"{kind}.{i}"
+        try:
+            token.touch(exist_ok=False)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Hooks — called by repro.perf.pool (worker side) and simcache
+# ----------------------------------------------------------------------
+def on_job_start(index: int) -> None:
+    """Delay injection: sleep past the deadline, once per listed index."""
+    plan = active_plan()
+    if plan is None or index not in plan.delay_indices:
+        return
+    if _claim(plan, f"delay.{index}", 1):
+        time.sleep(plan.delay_seconds)
+
+
+def on_job_finish() -> None:
+    """Kill injection: SIGKILL this worker after its k-th completed job.
+
+    SIGKILL (not an exception, not ``sys.exit``) so the pool sees the
+    same abrupt death an OOM kill produces: no cleanup, no shipped
+    outcome, ``BrokenProcessPool`` coordinator-side.
+    """
+    global _JOBS_RUN
+    plan = active_plan()
+    if plan is None or plan.kill_after_jobs is None:
+        return
+    _JOBS_RUN += 1
+    if _JOBS_RUN >= plan.kill_after_jobs and _claim(
+        plan, "kill", plan.kill_limit
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def claim_store_failure() -> bool:
+    """Whether this cache store should fail with an injected OSError."""
+    plan = active_plan()
+    return (
+        plan is not None
+        and plan.fail_stores > 0
+        and _claim(plan, "fail-store", plan.fail_stores)
+    )
+
+
+def claim_store_corruption() -> bool:
+    """Whether this cache store should write a torn (truncated) blob."""
+    plan = active_plan()
+    return (
+        plan is not None
+        and plan.corrupt_stores > 0
+        and _claim(plan, "corrupt-store", plan.corrupt_stores)
+    )
+
+
+def truncate_blob(blob: bytes) -> bytes:
+    """The torn write: keep a prefix too short to unpickle cleanly."""
+    return blob[: max(1, len(blob) // 3)]
+
+
+# ----------------------------------------------------------------------
+# Test utility — mid-run corruption of an existing cache
+# ----------------------------------------------------------------------
+def corrupt_entries(
+    directory: Union[str, Path], seed: int = 0, fraction: float = 1.0
+) -> int:
+    """Truncate a deterministic subset of cache entries in place.
+
+    Chaos tests call this between runs to simulate entries damaged
+    while the sweep was away (crashed writer, bad disk). Entries are
+    visited in sorted order and selected by a seeded RNG, so the same
+    ``(directory state, seed, fraction)`` always corrupts the same
+    files. Returns the number of entries truncated.
+    """
+    rng = random.Random(seed)
+    count = 0
+    for entry in sorted(Path(directory).glob("*/*.pkl")):
+        if rng.random() <= fraction:
+            raw = entry.read_bytes()
+            entry.write_bytes(raw[: len(raw) // 2])
+            count += 1
+    return count
+
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "active_plan",
+    "claim_store_corruption",
+    "claim_store_failure",
+    "clear_plan",
+    "corrupt_entries",
+    "install_plan",
+    "on_job_finish",
+    "on_job_start",
+    "truncate_blob",
+]

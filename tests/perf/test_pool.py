@@ -90,6 +90,72 @@ class TestPoolLifecycle:
         assert parallel_map(jobs, max_workers=3) == list(range(37))
 
 
+@dataclass(frozen=True)
+class Sleep:
+    seconds: float
+
+    def run(self) -> float:
+        import time
+
+        time.sleep(self.seconds)
+        return self.seconds
+
+
+class TestShutdownSemantics:
+    def test_nonblocking_shutdown_returns_immediately(self):
+        """The atexit path must not wait out a busy (or wedged) worker."""
+        import time
+
+        pool = get_pool(1)
+        future = pool.submit(_sleep_forever_ish)
+        time.sleep(0.2)  # let the worker actually pick the task up
+        start = time.monotonic()
+        shutdown_pool(wait=False)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.0  # did not block on the 3s task
+        assert pool_size() == 0
+        future.cancel()
+
+    def test_blocking_shutdown_still_default(self):
+        parallel_map([Echo(i) for i in range(3)], max_workers=2)
+        shutdown_pool()  # explicit callers keep the wait=True contract
+        assert pool_size() == 0
+
+
+class TestRecoveryPolicyValidation:
+    def test_rejects_nonpositive_bounds(self):
+        from repro.errors import ConfigurationError
+        from repro.perf import RecoveryPolicy
+
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RecoveryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="max_consecutive"):
+            RecoveryPolicy(max_consecutive_rebuilds=0)
+        with pytest.raises(ConfigurationError, match="job_timeout"):
+            RecoveryPolicy(job_timeout=0.0)
+
+    def test_policy_roundtrip(self):
+        from repro.perf import (
+            RecoveryPolicy,
+            recovery_policy,
+            set_recovery_policy,
+        )
+
+        previous = recovery_policy()
+        try:
+            policy = RecoveryPolicy(max_attempts=5, job_timeout=2.5)
+            set_recovery_policy(policy)
+            assert recovery_policy() == policy
+        finally:
+            set_recovery_policy(previous)
+
+
+def _sleep_forever_ish():
+    import time
+
+    time.sleep(3.0)
+
+
 class TestPoolFailures:
     def test_failure_names_index_and_label_and_pool_survives(self):
         jobs = [Fail(i) for i in range(5)] + [Fail(-1)] + [Fail(9)]

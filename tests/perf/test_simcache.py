@@ -148,6 +148,128 @@ class TestRecovery:
         assert cache.stores == 0
 
 
+def _hammer_store(directory, key, payload, rounds):
+    """Child-process body for the concurrent-writer regression test."""
+    cache = SimCache(directory)
+    for _ in range(rounds):
+        cache.store(key, payload)
+
+
+class TestConcurrentWriters:
+    def test_same_key_from_many_processes_never_tears(self, tmp_path):
+        """Regression: tmp names once used ``id(self) & 0xFFFF``, which
+        two pooled workers can share — one worker's ``replace`` could
+        then publish the other's half-written blob. pid + per-process
+        counter makes every in-flight tmp unique, so however the stores
+        interleave, the entry is always one writer's complete payload.
+        """
+        import multiprocessing
+
+        directory = tmp_path / "cache"
+        probe = SimCache(directory)
+        key = probe.key_for_signature("contended")
+        payload = {"blob": list(range(5000))}
+        workers = [
+            multiprocessing.Process(
+                target=_hammer_store, args=(directory, key, payload, 25)
+            )
+            for _ in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        fresh = SimCache(directory)
+        assert fresh.lookup(key) == (True, payload)
+        assert fresh.invalidations == 0
+        assert not list(directory.glob("*/*.tmp*"))  # nothing leaked
+
+    def test_tmp_names_unique_within_process(self, tmp_path, monkeypatch):
+        """Every store uses a fresh tmp path even for the same key."""
+        import repro.perf.simcache as simcache_module
+
+        seen = []
+        original = simcache_module.Path.replace
+
+        def recording_replace(self, target):
+            if ".tmp-" in self.name:
+                seen.append(self.name)
+            return original(self, target)
+
+        monkeypatch.setattr(simcache_module.Path, "replace", recording_replace)
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        for i in range(5):
+            assert cache.store(key, i)
+        assert len(seen) == 5
+        assert len(set(seen)) == 5  # pid+counter suffix never repeats
+
+
+class TestStoreFailureDegradation:
+    def test_oserror_store_degrades_to_not_cached(self, tmp_path):
+        """Disk trouble must cost the cache entry, never the sweep.
+
+        chmod tricks do not block root, so the OSError is forced with a
+        regular file squatting on the shard-directory path: ``mkdir``
+        fails with ENOTDIR/EEXIST on every platform and uid.
+        """
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        (tmp_path / key[:2]).write_text("file where the shard dir goes")
+        assert cache.store(key, [1, 2]) is False
+        assert cache.store_failures == 1
+        assert cache.stores == 0
+        assert cache.lookup(key) == (False, None)  # simply not cached
+        assert "store failure" in cache.stats_line()
+
+    def test_failed_store_does_not_leak_tmp(self, tmp_path, monkeypatch):
+        import repro.perf.simcache as simcache_module
+
+        def failing_replace(self, target):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(simcache_module.Path, "replace", failing_replace)
+        cache = SimCache(tmp_path)
+        key = cache.key_for_signature("sig")
+        assert cache.store(key, {"a": 1}) is False
+        assert cache.store_failures == 1
+        assert not list(tmp_path.glob("*/*.tmp*"))  # tmp unlinked
+
+
+class TestStaleTmpSweep:
+    def test_orphans_swept_on_open(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        (shard / "dead.tmp-999999999-3").write_bytes(b"dead writer")
+        (shard / "old.tmp1a2b").write_bytes(b"pre-fix naming scheme")
+        (shard / "entry.pkl").write_bytes(b"real entry stays")
+        cache = SimCache(tmp_path)
+        assert cache.tmp_swept == 2
+        assert (shard / "entry.pkl").exists()
+        assert not list(shard.glob("*.tmp*"))
+        assert "stale tmp swept" in cache.stats_line()
+
+    def test_live_writers_tmp_left_alone(self, tmp_path):
+        import multiprocessing
+
+        shard = tmp_path / "cd"
+        shard.mkdir(parents=True)
+        # A process that is demonstrably alive while the cache opens.
+        gate = multiprocessing.Event()
+        proc = multiprocessing.Process(target=gate.wait)
+        proc.start()
+        try:
+            live_tmp = shard / f"busy.tmp-{proc.pid}-0"
+            live_tmp.write_bytes(b"another writer's in-flight store")
+            cache = SimCache(tmp_path)
+            assert cache.tmp_swept == 0
+            assert live_tmp.exists()
+        finally:
+            gate.set()
+            proc.join(timeout=10)
+
+
 class TestParallelMapIntegration:
     def test_hits_skip_execution(self, tmp_path):
         tally = tmp_path / "tally.txt"

@@ -1,0 +1,261 @@
+"""Chaos suite: real faults against the real pool and real cache.
+
+Every test here injects a failure into live processes — a worker
+SIGKILLs itself mid-sweep, cache entries are torn, chunks blow their
+deadline — and asserts the two contracts that make the failures
+invisible: the sweep still completes (recovery), and its results are
+identical to a clean serial run (bit-identity, metrics included).
+"""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import PoolRecoveryError
+from repro.experiments import common
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import ObsSession
+from repro.perf import (
+    RecoveryPolicy,
+    parallel_map,
+    recovery_counters,
+    recovery_policy,
+    set_recovery_policy,
+    shutdown_pool,
+)
+from repro.perf.pool import map_on_pool
+from repro.robust import faults
+
+#: Counter namespaces written by the recovery machinery itself; only
+#: these may differ between a clean serial run and a chaos-pooled run.
+RECOVERY_PREFIXES = ("pool.", "jobs.")
+
+
+@dataclass(frozen=True)
+class Echo:
+    value: int
+
+    def run(self) -> int:
+        return self.value
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    """Fresh pool, no fault plan, default policy — before and after."""
+    faults.clear_plan()
+    shutdown_pool()
+    previous = recovery_policy()
+    yield
+    faults.clear_plan()
+    set_recovery_policy(previous)
+    shutdown_pool()
+
+
+def _delta(before, after):
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in after
+        if after.get(key, 0) != before.get(key, 0)
+    }
+
+
+class TestWorkerKillRecovery:
+    def test_sigkilled_worker_recovered_bit_identical(self, tmp_path):
+        """A worker OOM-kill mid-fig8 must not change a single number."""
+        from repro.experiments.fig8_11 import run_validation
+
+        benchmarks = ("cfd", "bfs")
+        common.clear_caches()
+        serial = run_validation(
+            "fig8", steps=3, benchmarks=benchmarks, jobs=1
+        )
+
+        common.clear_caches()
+        faults.install_plan(
+            faults.FaultPlan(
+                kill_after_jobs=1,
+                kill_limit=1,
+                token_dir=str(tmp_path / "tokens"),
+            )
+        )
+        before = recovery_counters()
+        chaotic = run_validation(
+            "fig8", steps=3, benchmarks=benchmarks, jobs=2
+        )
+        delta = _delta(before, recovery_counters())
+
+        assert chaotic == serial
+        assert (tmp_path / "tokens" / "kill.0").exists()  # a worker died
+        assert delta.get("pool.rebuilds", 0) >= 1
+        assert delta.get("jobs.recovered", 0) >= 1
+
+    def test_metrics_not_double_absorbed_across_retry(self, tmp_path):
+        """Simulator counters stay exact through a kill-and-retry.
+
+        A killed worker has already run part of its chunk, so its
+        registry held real increments — the chunk outcome (results +
+        snapshot) dying with it, and the retry being the only shipped
+        copy, is exactly what keeps the counters from double-counting.
+        """
+        from repro.experiments.fig8_11 import run_validation
+
+        benchmarks = ("cfd", "bfs")
+
+        def sim_counters(kill, token_dir):
+            common.clear_caches()
+            shutdown_pool()
+            faults.clear_plan()
+            if kill:
+                faults.install_plan(
+                    faults.FaultPlan(
+                        kill_after_jobs=1,
+                        kill_limit=1,
+                        token_dir=token_dir,
+                    )
+                )
+            session = ObsSession(metrics=True)
+            obs_runtime.activate(session)
+            try:
+                run_validation(
+                    "fig8", steps=3, benchmarks=benchmarks, jobs=2
+                )
+            finally:
+                obs_runtime.deactivate()
+            snap = session.metrics.snapshot()
+            return tuple(
+                (name, value)
+                for name, value in snap.counters
+                if not name.startswith(RECOVERY_PREFIXES)
+            )
+
+        clean = sim_counters(False, "")
+        chaotic = sim_counters(True, str(tmp_path / "tokens"))
+        assert ("soc.coruns" in dict(clean)) or clean  # sanity: non-empty
+        assert chaotic == clean
+
+    def test_recovery_counters_mirrored_into_obs(self, tmp_path):
+        faults.install_plan(
+            faults.FaultPlan(
+                kill_after_jobs=2,
+                kill_limit=1,
+                token_dir=str(tmp_path / "tokens"),
+            )
+        )
+        session = ObsSession(metrics=True)
+        obs_runtime.activate(session)
+        try:
+            results = parallel_map(
+                [Echo(i) for i in range(12)], max_workers=2
+            )
+        finally:
+            obs_runtime.deactivate()
+        snap = session.metrics.snapshot()
+        assert results == list(range(12))
+        assert snap.counter_value("pool.rebuilds") >= 1
+        assert snap.counter_value("jobs.recovered") >= 1
+        assert dict(snap.counters_with_prefix("jobs.")) == {
+            name: value
+            for name, value in snap.counters
+            if name.startswith("jobs.")
+        }
+
+
+class TestDeadlineRecovery:
+    def test_delayed_chunk_is_killed_and_retried(self, tmp_path):
+        faults.install_plan(
+            faults.FaultPlan(
+                delay_indices=(1,),
+                delay_seconds=20.0,
+                token_dir=str(tmp_path / "tokens"),
+            )
+        )
+        set_recovery_policy(RecoveryPolicy(job_timeout=1.0))
+        before = recovery_counters()
+        start = time.monotonic()
+        results = map_on_pool(
+            [(i, Echo(i * 3)) for i in range(6)],
+            {i: f"echo{i}" for i in range(6)},
+            2,
+        )
+        elapsed = time.monotonic() - start
+        delta = _delta(before, recovery_counters())
+        assert results == {i: i * 3 for i in range(6)}
+        assert elapsed < 15.0  # did not sit out the 20s delay
+        assert delta.get("pool.rebuilds", 0) >= 1
+        assert delta.get("jobs.retried", 0) >= 1
+
+
+class TestRecoveryBounds:
+    def test_exhausted_attempts_raise_pool_recovery_error(self, tmp_path):
+        """A poison environment that kills every worker must not hang."""
+        faults.install_plan(
+            faults.FaultPlan(
+                kill_after_jobs=1,
+                kill_limit=10_000,
+                token_dir=str(tmp_path / "tokens"),
+            )
+        )
+        set_recovery_policy(
+            RecoveryPolicy(max_attempts=2, max_consecutive_rebuilds=10_000)
+        )
+        with pytest.raises(PoolRecoveryError) as excinfo:
+            map_on_pool(
+                [(i, Echo(i)) for i in range(4)],
+                {i: f"echo{i}" for i in range(4)},
+                2,
+            )
+        assert excinfo.value.indices  # names the still-lost jobs
+        assert len(excinfo.value.labels) == len(excinfo.value.indices)
+        assert "echo" in excinfo.value.labels[0]
+
+    def test_degrades_to_serial_after_consecutive_rebuilds(self, tmp_path):
+        """When workers keep dying, the sweep still completes in-process."""
+        faults.install_plan(
+            faults.FaultPlan(
+                kill_after_jobs=1,
+                kill_limit=10_000,
+                token_dir=str(tmp_path / "tokens"),
+            )
+        )
+        set_recovery_policy(
+            RecoveryPolicy(max_attempts=10_000, max_consecutive_rebuilds=2)
+        )
+        before = recovery_counters()
+        results = map_on_pool(
+            [(i, Echo(i + 100)) for i in range(6)],
+            {i: f"echo{i}" for i in range(6)},
+            2,
+        )
+        delta = _delta(before, recovery_counters())
+        assert results == {i: i + 100 for i in range(6)}
+        assert delta.get("pool.degraded", 0) == 1
+        assert delta.get("pool.rebuilds", 0) >= 2
+
+
+class TestCacheCorruptionMidRun:
+    def test_torn_entries_invalidated_and_recomputed(self, tmp_path):
+        from repro.experiments.fig8_11 import run_validation
+        from repro.perf import activate_sim_cache, set_sim_cache
+        from repro.perf.simcache import active_sim_cache
+
+        benchmarks = ("cfd", "bfs")
+        previous = active_sim_cache()
+        cache = activate_sim_cache(tmp_path / "cache")
+        try:
+            common.clear_caches()
+            first = run_validation(
+                "fig8", steps=3, benchmarks=benchmarks, jobs=1
+            )
+            assert cache.stores > 0
+            torn = faults.corrupt_entries(cache.directory, seed=5)
+            assert torn == cache.stores  # fraction=1.0 tears everything
+
+            common.clear_caches()
+            second = run_validation(
+                "fig8", steps=3, benchmarks=benchmarks, jobs=1
+            )
+            assert second == first
+            assert cache.invalidations >= torn  # every tear detected
+        finally:
+            set_sim_cache(previous)

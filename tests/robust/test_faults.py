@@ -1,0 +1,145 @@
+"""The fault-injection harness itself: plans, tokens, determinism."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.robust import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+class TestFaultPlanValidation:
+    def test_budgeted_faults_require_token_dir(self):
+        with pytest.raises(ConfigurationError, match="token_dir"):
+            faults.FaultPlan(kill_after_jobs=1)
+        with pytest.raises(ConfigurationError, match="token_dir"):
+            faults.FaultPlan(fail_stores=2)
+        with pytest.raises(ConfigurationError, match="token_dir"):
+            faults.FaultPlan(corrupt_stores=1)
+
+    def test_kill_after_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="kill_after_jobs"):
+            faults.FaultPlan(kill_after_jobs=0, token_dir="t")
+
+    def test_delay_indices_need_positive_seconds(self):
+        with pytest.raises(ConfigurationError, match="delay_seconds"):
+            faults.FaultPlan(delay_indices=(1,), token_dir="t")
+
+    def test_inert_plan_needs_nothing(self):
+        assert faults.FaultPlan().kill_after_jobs is None
+
+
+class TestFaultPlanSerialisation:
+    def test_round_trip(self, tmp_path):
+        plan = faults.FaultPlan(
+            kill_after_jobs=3,
+            kill_limit=2,
+            fail_stores=1,
+            delay_indices=(4, 7),
+            delay_seconds=0.5,
+            token_dir=str(tmp_path),
+            seed=11,
+        )
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="unparseable"):
+            faults.FaultPlan.from_json("{not json")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            faults.FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            faults.FaultPlan.from_json('{"kill_workers": 1}')
+
+    def test_randomized_is_seed_deterministic(self, tmp_path):
+        first = faults.FaultPlan.randomized(7, 20, tmp_path, delay_seconds=1.0)
+        again = faults.FaultPlan.randomized(7, 20, tmp_path, delay_seconds=1.0)
+        other = faults.FaultPlan.randomized(8, 20, tmp_path, delay_seconds=1.0)
+        assert first == again
+        assert first.seed == 7  # replayable provenance
+        assert 1 <= first.kill_after_jobs <= 10
+        assert first != other or first.seed != other.seed
+
+
+class TestPlanLifecycle:
+    def test_install_exports_env_and_creates_token_dir(self, tmp_path):
+        token_dir = tmp_path / "tokens"
+        plan = faults.FaultPlan(kill_after_jobs=1, token_dir=str(token_dir))
+        faults.install_plan(plan)
+        assert token_dir.is_dir()
+        assert json.loads(os.environ[faults.ENV_VAR])["kill_after_jobs"] == 1
+        assert faults.active_plan() == plan
+        faults.clear_plan()
+        assert faults.ENV_VAR not in os.environ
+        assert faults.active_plan() is None
+
+    def test_env_delivered_plan_creates_token_dir(self, tmp_path):
+        """Regression: a plan arriving via the environment (the CLI
+        chaos gate) must create its token directory, or every budgeted
+        fault silently fails to claim and the chaos run tests nothing."""
+        token_dir = tmp_path / "envtokens"
+        plan = faults.FaultPlan(kill_after_jobs=1, token_dir=str(token_dir))
+        faults.clear_plan()
+        os.environ[faults.ENV_VAR] = plan.to_json()
+        try:
+            # Force the memoized read to happen fresh, as in a worker.
+            faults._LOADED = False
+            faults._ACTIVE = None
+            assert faults.active_plan() == plan
+            assert token_dir.is_dir()
+        finally:
+            os.environ.pop(faults.ENV_VAR, None)
+
+
+class TestTokens:
+    def test_budget_is_exact(self, tmp_path):
+        plan = faults.FaultPlan(fail_stores=2, token_dir=str(tmp_path))
+        faults.install_plan(plan)
+        assert faults.claim_store_failure()
+        assert faults.claim_store_failure()
+        assert not faults.claim_store_failure()  # budget spent
+
+    def test_no_plan_claims_nothing(self):
+        assert not faults.claim_store_failure()
+        assert not faults.claim_store_corruption()
+
+    def test_unusable_token_dir_disarms_fault(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the token dir should be")
+        plan = faults.FaultPlan(
+            fail_stores=1, token_dir=str(blocker / "sub")
+        )
+        # install_plan would fail to mkdir; wire the plan in directly.
+        faults._ACTIVE = plan
+        faults._LOADED = True
+        assert not faults.claim_store_failure()
+
+
+class TestBlobHelpers:
+    def test_truncate_blob_is_a_torn_write(self):
+        blob = pickle.dumps({"key": "k", "result": list(range(100))})
+        torn = faults.truncate_blob(blob)
+        assert 0 < len(torn) < len(blob)
+        with pytest.raises(Exception):
+            pickle.loads(torn)
+
+    def test_corrupt_entries_deterministic_subset(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir()
+        for i in range(8):
+            (shard / f"entry{i}.pkl").write_bytes(b"x" * 64)
+        count = faults.corrupt_entries(tmp_path, seed=3, fraction=0.5)
+        sizes = sorted(p.read_bytes() for p in shard.glob("*.pkl"))
+        again = faults.corrupt_entries(tmp_path, seed=3, fraction=0.0)
+        assert 0 < count < 8
+        assert again == 0
+        assert any(len(s) == 32 for s in sizes)  # truncated half
+        assert any(len(s) == 64 for s in sizes)  # untouched half
